@@ -1,0 +1,93 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* loop bound M (§3.4) — effect on the potential-cost heuristic;
+* searcher — CASTAN's max-cost searcher vs DFS/BFS/random;
+* cache model — contention-set model vs no cache model on LPM direct lookup;
+* rainbow-table tailoring (§3.5) — tailored vs generic key samplers.
+"""
+
+from benchmarks.conftest import run_once
+from repro.cfg.costs import annotate_costs
+from repro.core.castan import Castan
+from repro.core.config import CastanConfig
+from repro.hashing.rainbow import build_flow_rainbow_table
+from repro.nf.registry import get_nf
+
+
+def test_ablation_loop_bound(benchmark, emit):
+    """Entry potential cost as the loop bound M grows."""
+
+    def run():
+        nf = get_nf("lpm-patricia")
+        return {
+            m: annotate_costs(nf.module, nf.entry, loop_bound=m).entry_cost(nf.entry)
+            for m in (1, 2, 3, 4)
+        }
+
+    costs = run_once(benchmark, run)
+    emit(
+        "Ablation: potential-cost loop bound M (LPM Patricia)\n"
+        + "\n".join(f"  M={m}: entry potential cost {c} cycles" for m, c in costs.items())
+    )
+    assert costs[2] > costs[1]
+    assert costs[4] >= costs[3] >= costs[2]
+
+
+def test_ablation_searcher(benchmark, emit):
+    """Worst-path cost discovered by each searcher under an equal state budget."""
+
+    def run():
+        results = {}
+        for searcher in ("castan", "dfs", "bfs", "random"):
+            config = CastanConfig(
+                max_states=120, deadline_seconds=6.0, num_packets=5, searcher=searcher
+            )
+            results[searcher] = Castan(config).analyze(get_nf("nat-unbalanced-tree")).best_state_cost
+        return results
+
+    costs = run_once(benchmark, run)
+    emit(
+        "Ablation: searcher (NAT unbalanced tree, 120-state budget)\n"
+        + "\n".join(f"  {name:8s}: best path cost {cost} cycles" for name, cost in costs.items())
+    )
+    assert costs["castan"] >= max(costs["bfs"], costs["random"]) * 0.9
+
+
+def test_ablation_cache_model(benchmark, emit):
+    """Predicted DRAM accesses with and without the contention-set model."""
+
+    def run():
+        out = {}
+        for model in ("contention", "none"):
+            config = CastanConfig(
+                max_states=50, deadline_seconds=6.0, num_packets=20, cache_model=model
+            )
+            result = Castan(config).analyze(get_nf("lpm-direct"))
+            out[model] = sum(result.metrics.predicted_dram_accesses_per_packet)
+        return out
+
+    dram = run_once(benchmark, run)
+    emit(
+        "Ablation: cache model (LPM 1-stage direct lookup, 20 packets)\n"
+        + "\n".join(f"  {name:10s}: {misses} predicted DRAM accesses" for name, misses in dram.items())
+    )
+    assert dram["contention"] >= dram["none"]
+
+
+def test_ablation_rainbow_tailoring(benchmark, emit):
+    """Inversion coverage of tailored vs generic rainbow tables (§3.5)."""
+
+    def run():
+        tailored = build_flow_rainbow_table(tailored=True, chain_length=24, num_chains=1500)
+        generic = build_flow_rainbow_table(tailored=False, chain_length=24, num_chains=1500)
+        return {
+            "tailored": tailored.coverage_estimate(samples=100),
+            "generic": generic.coverage_estimate(samples=100),
+        }
+
+    coverage = run_once(benchmark, run)
+    emit(
+        "Ablation: rainbow-table key sampling\n"
+        + "\n".join(f"  {name:9s}: {value:.2%} of hash values invertible" for name, value in coverage.items())
+    )
+    assert 0.0 <= coverage["generic"] <= 1.0 and 0.0 <= coverage["tailored"] <= 1.0

@@ -1,0 +1,65 @@
+"""Figures 4-8: the LPM experiments (§5.2-5.3).
+
+* Fig. 4 — latency CDF, LPM with 1-stage Direct Lookup
+* Fig. 5 — CPU reference-cycles CDF, LPM with 1-stage Direct Lookup
+* Fig. 6 — latency CDF, LPM with 2-stage (DPDK-style) Direct Lookup
+* Fig. 7 — latency CDF, LPM with a Patricia trie
+* Fig. 8 — CPU reference-cycles CDF, LPM with a Patricia trie
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.tables import figure_cycles_cdfs, figure_latency_cdfs, render_figure
+
+
+def _latency_figure(benchmark, emit, nf_name, title):
+    cdfs = run_once(benchmark, lambda: figure_latency_cdfs(nf_name))
+    emit(render_figure(title, cdfs))
+    assert cdfs["castan"].count > 0
+    return cdfs
+
+
+def _cycles_figure(benchmark, emit, nf_name, title):
+    cdfs = run_once(benchmark, lambda: figure_cycles_cdfs(nf_name))
+    emit(render_figure(title, cdfs))
+    assert cdfs["castan"].count > 0
+    return cdfs
+
+
+def test_fig04_lpm_direct_latency(benchmark, emit):
+    cdfs = _latency_figure(
+        benchmark, emit, "lpm-direct", "Figure 4: latency CDF, LPM 1-stage Direct Lookup (ns)"
+    )
+    # Shape check: the CASTAN workload must hurt at least as much as the
+    # flow-count-matched UniRand-CASTAN control.
+    assert cdfs["castan"].median >= cdfs["unirand-castan"].median
+
+
+def test_fig05_lpm_direct_cycles(benchmark, emit):
+    cdfs = _cycles_figure(
+        benchmark, emit, "lpm-direct", "Figure 5: reference cycles CDF, LPM 1-stage Direct Lookup"
+    )
+    assert cdfs["castan"].median >= cdfs["zipfian"].median
+
+
+def test_fig06_lpm_dpdk_latency(benchmark, emit):
+    cdfs = _latency_figure(
+        benchmark, emit, "lpm-dpdk", "Figure 6: latency CDF, LPM 2-stage Direct Lookup (ns)"
+    )
+    # The paper's point: the small CASTAN workload cannot thrash the smaller
+    # first-stage table the way the huge UniRand workload can.
+    assert cdfs["castan"].median <= cdfs["unirand"].median * 1.05
+
+
+def test_fig07_lpm_patricia_latency(benchmark, emit):
+    cdfs = _latency_figure(
+        benchmark, emit, "lpm-patricia", "Figure 7: latency CDF, LPM Patricia trie (ns)"
+    )
+    assert "manual" in cdfs
+
+
+def test_fig08_lpm_patricia_cycles(benchmark, emit):
+    cdfs = _cycles_figure(
+        benchmark, emit, "lpm-patricia", "Figure 8: reference cycles CDF, LPM Patricia trie"
+    )
+    # CASTAN and Manual consume noticeably more cycles than Zipfian.
+    assert cdfs["manual"].median > cdfs["zipfian"].median

@@ -1,0 +1,69 @@
+"""Figures 9-15: the stateful NF experiments (§5.3-5.4).
+
+* Fig. 9  — latency CDF, NAT with an unbalanced tree
+* Fig. 10 — CPU reference-cycles CDF, NAT with an unbalanced tree
+* Fig. 11 — latency CDF, NAT with a red-black tree
+* Fig. 12 — latency CDF, LB with a hash table
+* Fig. 13 — latency CDF, LB with a hash ring
+* Fig. 14 — latency CDF, NAT with a hash table
+* Fig. 15 — latency CDF, NAT with a hash ring
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval.tables import figure_cycles_cdfs, figure_latency_cdfs, render_figure
+
+
+def _latency_figure(benchmark, emit, nf_name, title):
+    cdfs = run_once(benchmark, lambda: figure_latency_cdfs(nf_name))
+    emit(render_figure(title, cdfs))
+    assert cdfs["castan"].count > 0
+    return cdfs
+
+
+def test_fig09_nat_unbalanced_latency(benchmark, emit):
+    cdfs = _latency_figure(
+        benchmark, emit, "nat-unbalanced-tree", "Figure 9: latency CDF, NAT unbalanced tree (ns)"
+    )
+    # The handful of CASTAN packets must beat the typical Zipfian traffic.
+    assert cdfs["castan"].median > cdfs["1-packet"].median
+
+
+def test_fig10_nat_unbalanced_cycles(benchmark, emit):
+    cdfs = run_once(benchmark, lambda: figure_cycles_cdfs("nat-unbalanced-tree"))
+    emit(render_figure("Figure 10: reference cycles CDF, NAT unbalanced tree", cdfs))
+    assert cdfs["manual"].median > cdfs["1-packet"].median
+
+
+def test_fig11_nat_rbtree_latency(benchmark, emit):
+    cdfs = _latency_figure(
+        benchmark, emit, "nat-red-black-tree", "Figure 11: latency CDF, NAT red-black tree (ns)"
+    )
+    # Rebalancing defeats the attack: latency tracks flow count, so the big
+    # UniRand workload dominates the small CASTAN one.
+    assert cdfs["unirand"].median >= cdfs["castan"].median
+
+
+def test_fig12_lb_hashtable_latency(benchmark, emit):
+    _latency_figure(
+        benchmark, emit, "lb-hash-table", "Figure 12: latency CDF, LB hash table (ns)"
+    )
+
+
+def test_fig13_lb_hashring_latency(benchmark, emit):
+    cdfs = _latency_figure(
+        benchmark, emit, "lb-hash-ring", "Figure 13: latency CDF, LB hash ring (ns)"
+    )
+    assert cdfs["castan"].median >= cdfs["1-packet"].median
+
+
+def test_fig14_nat_hashtable_latency(benchmark, emit):
+    _latency_figure(
+        benchmark, emit, "nat-hash-table", "Figure 14: latency CDF, NAT hash table (ns)"
+    )
+
+
+def test_fig15_nat_hashring_latency(benchmark, emit):
+    cdfs = _latency_figure(
+        benchmark, emit, "nat-hash-ring", "Figure 15: latency CDF, NAT hash ring (ns)"
+    )
+    assert cdfs["castan"].median >= cdfs["1-packet"].median

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Algorithmic-complexity attack on the NAT's unbalanced tree (§5.3).
+
+Compares four workloads on the NAT-with-unbalanced-tree NF:
+
+* typical Zipfian traffic,
+* uniform-random traffic (many flows, balanced-ish tree),
+* the hand-crafted Manual workload (ordered keys → the tree degenerates),
+* the CASTAN-synthesized workload (rediscovers the same attack automatically),
+
+and shows the same comparison against the red-black-tree NAT, where the
+rebalancing defeats the attack — the paper's Fig. 9 vs Fig. 11 story.
+
+Usage::
+
+    python examples/algorithmic_complexity_attack.py
+"""
+
+from __future__ import annotations
+
+from repro.core.castan import Castan
+from repro.core.config import CastanConfig
+from repro.nf.registry import get_nf
+from repro.testbed.measure import measure_latency
+from repro.workloads.generators import (
+    make_castan_workload,
+    make_manual_workload,
+    make_unirand_workload,
+    make_zipfian_workload,
+)
+
+
+def evaluate(nf_name: str) -> None:
+    nf = get_nf(nf_name)
+    print(f"\n=== {nf.name} — {nf.description}")
+    config = CastanConfig(max_states=400, deadline_seconds=15.0, num_packets=12)
+    analysis = Castan(config).analyze(nf)
+    print(f"CASTAN synthesized {analysis.packet_count} packets "
+          f"in {analysis.analysis_seconds:.1f}s "
+          f"(estimated worst path: {analysis.best_state_cost} cycles)")
+
+    workloads = {
+        "zipfian": make_zipfian_workload(nf, 2000, 130),
+        "unirand": make_unirand_workload(nf, 2000),
+        "castan": make_castan_workload(analysis.packets),
+    }
+    manual = make_manual_workload(nf, count=analysis.packet_count)
+    if manual is not None:
+        workloads["manual"] = manual
+
+    print(f"{'workload':<10}{'packets':>9}{'flows':>7}{'median instr/pkt':>18}{'median latency (ns)':>21}")
+    for name, workload in workloads.items():
+        run = measure_latency(nf, workload, replay_packets=1500)
+        summary = run.counter_summary
+        print(f"{name:<10}{workload.packet_count:>9}{workload.flow_count:>7}"
+              f"{summary.median_instructions:>18.0f}{run.median_latency_ns:>21.1f}")
+
+
+def main() -> int:
+    evaluate("nat-unbalanced-tree")
+    evaluate("nat-red-black-tree")
+    print("\nThe unbalanced tree degenerates under the ordered keys that Manual and "
+          "CASTAN send, so a few dozen packets rival a million-flow flood; the "
+          "red-black tree rebalances and only total flow count matters.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

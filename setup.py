@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` works in offline environments whose pip/setuptools
+combination cannot perform PEP 660 editable installs (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

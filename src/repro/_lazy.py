@@ -1,0 +1,37 @@
+"""Helper for lazily re-exporting names from subpackage ``__init__`` files.
+
+Several subpackages (``symbex``, ``cache``, ``perf``) re-export their public
+API from their ``__init__``.  Doing that eagerly creates import cycles
+(e.g. the cache model needs symbolic expressions while the symbolic engine
+needs the cache model), so the re-exports are resolved on first attribute
+access instead.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+
+def lazy_exports(
+    package_name: str, exports: dict[str, tuple[str, str]]
+) -> tuple[Callable[[str], object], Callable[[], list[str]]]:
+    """Build ``__getattr__``/``__dir__`` implementations for a package.
+
+    ``exports`` maps the public name to ``(module, attribute)``.  Usage::
+
+        __getattr__, __dir__ = lazy_exports(__name__, {"Foo": (".foo", "Foo")})
+    """
+
+    def __getattr__(name: str) -> object:
+        try:
+            module_name, attribute = exports[name]
+        except KeyError:
+            raise AttributeError(f"module {package_name!r} has no attribute {name!r}") from None
+        module = importlib.import_module(module_name, package_name)
+        return getattr(module, attribute)
+
+    def __dir__() -> list[str]:
+        return sorted(exports)
+
+    return __getattr__, __dir__

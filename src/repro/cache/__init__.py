@@ -1,0 +1,46 @@
+"""Cache substrate: simulated memory hierarchy and contention-set modelling.
+
+Four pieces, mirroring §3.2–3.3 of the paper:
+
+* :mod:`repro.cache.setassoc` — a plain set-associative cache with LRU
+  replacement, the building block of the hierarchy.
+* :mod:`repro.cache.hierarchy` — the simulated processor memory hierarchy
+  (L1d/L2/L3 with a *hidden* L3 slice-selection hash and physical page
+  mapping), standing in for the Intel Xeon E5-2667v2 testbed machine.
+* :mod:`repro.cache.contention` — the probing-based reverse engineering of
+  L3 contention sets, run for real against the simulated hierarchy.
+* :mod:`repro.cache.model` — the pluggable cache models the symbolic
+  execution engine calls on every load/store; the default constrains
+  symbolic pointers into discovered contention sets.
+
+Public names are re-exported lazily to avoid import cycles with
+:mod:`repro.symbex`.
+"""
+
+from repro._lazy import lazy_exports
+
+__all__ = [
+    "CacheAccessDecision",
+    "CacheModel",
+    "ContentionSetCacheModel",
+    "ContentionSets",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "NoCacheModel",
+    "SetAssociativeCache",
+    "discover_contention_sets",
+]
+
+_EXPORTS = {
+    "ContentionSets": (".contention", "ContentionSets"),
+    "discover_contention_sets": (".contention", "discover_contention_sets"),
+    "HierarchyConfig": (".hierarchy", "HierarchyConfig"),
+    "MemoryHierarchy": (".hierarchy", "MemoryHierarchy"),
+    "CacheAccessDecision": (".model", "CacheAccessDecision"),
+    "CacheModel": (".model", "CacheModel"),
+    "ContentionSetCacheModel": (".model", "ContentionSetCacheModel"),
+    "NoCacheModel": (".model", "NoCacheModel"),
+    "SetAssociativeCache": (".setassoc", "SetAssociativeCache"),
+}
+
+__getattr__, __dir__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,316 @@
+"""Pluggable cache models for the symbolic execution engine (§3.3, §4).
+
+The engine calls the active cache model on every ``load``/``store``.  The
+model's job is twofold, mirroring the paper's KLEE plug-in: first pick the
+"worst compatible cache line" for a symbolic pointer and concretize the
+pointer to it (adding the corresponding equality constraint to the path),
+then update its own cache state so later accesses see the effect.
+
+Two implementations are provided:
+
+* :class:`ContentionSetCacheModel` — CASTAN's default: drives symbolic
+  addresses into already-populated contention sets so that the synthesized
+  workload overflows L3 associativity and keeps missing.
+* :class:`NoCacheModel` — an ablation baseline that concretizes pointers to
+  any feasible value and charges every access an L1 hit, i.e. the search is
+  guided by instruction counts alone.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cache.contention import ContentionSets
+from repro.ir.module import MemoryRegion
+from repro.symbex.expr import Const, Expr, expr_eq
+
+# Callbacks supplied by the engine:
+#   feasible(constraint) -> bool         (quick path-constraint compatibility)
+#   solve_value(expr) -> int | None      (any feasible concrete value for expr)
+FeasibleFn = Callable[[Expr], bool]
+SolveValueFn = Callable[[Expr], "int | None"]
+
+
+@dataclass
+class CacheAccessDecision:
+    """Outcome of consulting the cache model for one memory access."""
+
+    region: str
+    index: int
+    address: int
+    level: str  # "L1" | "L2" | "L3" | "DRAM"
+    constraint: Expr | None = None
+    caused_eviction: bool = False
+
+
+@dataclass
+class CacheModelStats:
+    """Counters the analysis reports alongside each generated path."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    concretizations: int = 0
+    contention_targeted: int = 0
+
+
+class CacheModel:
+    """Interface every cache model plug-in implements."""
+
+    def clone(self) -> "CacheModel":
+        raise NotImplementedError
+
+    def on_access(
+        self,
+        region: MemoryRegion,
+        index_expr: Expr,
+        is_write: bool,
+        feasible: FeasibleFn,
+        solve_value: SolveValueFn,
+    ) -> CacheAccessDecision:
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> CacheModelStats:
+        raise NotImplementedError
+
+
+class NoCacheModel(CacheModel):
+    """Ablation model: no cache reasoning, every access is an L1 hit."""
+
+    def __init__(self) -> None:
+        self._stats = CacheModelStats()
+
+    def clone(self) -> "NoCacheModel":
+        other = NoCacheModel()
+        other._stats = CacheModelStats(**vars(self._stats))
+        return other
+
+    def on_access(
+        self,
+        region: MemoryRegion,
+        index_expr: Expr,
+        is_write: bool,
+        feasible: FeasibleFn,
+        solve_value: SolveValueFn,
+    ) -> CacheAccessDecision:
+        self._stats.accesses += 1
+        self._stats.hits += 1
+        if isinstance(index_expr, Const):
+            index = index_expr.value
+            constraint = None
+        else:
+            value = solve_value(index_expr)
+            index = 0 if value is None else value
+            index = min(max(index, 0), region.length - 1)
+            constraint = expr_eq(index_expr, Const(index))
+            self._stats.concretizations += 1
+        return CacheAccessDecision(
+            region=region.name,
+            index=index,
+            address=region.address_of(index),
+            level="L1",
+            constraint=constraint,
+        )
+
+    @property
+    def stats(self) -> CacheModelStats:
+        return self._stats
+
+
+class ContentionSetCacheModel(CacheModel):
+    """CASTAN's contention-set cache model.
+
+    The model keeps, per contention set, the lines it believes are resident
+    in L3 (bounded by the associativity), starting from a clear cache.  For
+    a symbolic pointer it builds a list of candidate lines that would land
+    in the most-populated contention sets (those closest to overflowing),
+    checks each candidate's equality constraint for compatibility with the
+    path, and concretizes the pointer to the first compatible one.
+    """
+
+    def __init__(
+        self,
+        contention_sets: ContentionSets,
+        l1_window: int = 8,
+        max_candidates: int = 32,
+    ) -> None:
+        self.contention_sets = contention_sets
+        self.associativity = contention_sets.associativity
+        self.line_size = contention_sets.line_size
+        self.max_candidates = max_candidates
+        self.l1_window = l1_window
+        # contention set id -> OrderedDict of resident line -> True (LRU)
+        self._resident: dict[int, OrderedDict[int, bool]] = {}
+        # Lines accessed at least once (cold-miss tracking), and a small
+        # recency window standing in for L1 (repeat accesses to the very
+        # same line in quick succession are not charged full L3 latency).
+        self._touched_lines: set[int] = set()
+        self._recent_lines: OrderedDict[int, bool] = OrderedDict()
+        # region name -> element indices accessed so far (insertion order),
+        # used to steer pointers onto already-populated state when no cache
+        # contention is achievable.
+        self._touched_elements: dict[str, list[int]] = {}
+        self._stats = CacheModelStats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def clone(self) -> "ContentionSetCacheModel":
+        other = ContentionSetCacheModel(
+            self.contention_sets, l1_window=self.l1_window, max_candidates=self.max_candidates
+        )
+        other._resident = {k: OrderedDict(v) for k, v in self._resident.items()}
+        other._touched_lines = set(self._touched_lines)
+        other._recent_lines = OrderedDict(self._recent_lines)
+        other._touched_elements = {k: list(v) for k, v in self._touched_elements.items()}
+        other._stats = CacheModelStats(**vars(self._stats))
+        return other
+
+    @property
+    def stats(self) -> CacheModelStats:
+        return self._stats
+
+    # -- access handling -------------------------------------------------------
+
+    def on_access(
+        self,
+        region: MemoryRegion,
+        index_expr: Expr,
+        is_write: bool,
+        feasible: FeasibleFn,
+        solve_value: SolveValueFn,
+    ) -> CacheAccessDecision:
+        self._stats.accesses += 1
+        if isinstance(index_expr, Const):
+            index = index_expr.value
+            constraint: Expr | None = None
+        else:
+            index, constraint, targeted = self._concretize(region, index_expr, feasible, solve_value)
+            self._stats.concretizations += 1
+            if targeted:
+                self._stats.contention_targeted += 1
+        address = region.address_of(index)
+        touched = self._touched_elements.setdefault(region.name, [])
+        if not touched or touched[-1] != index:
+            touched.append(index)
+            if len(touched) > 512:
+                del touched[0]
+        level, evicted = self._charge(address)
+        if level in ("L1", "L3"):
+            self._stats.hits += 1
+        else:
+            self._stats.misses += 1
+        if evicted:
+            self._stats.evictions += 1
+        return CacheAccessDecision(
+            region=region.name,
+            index=index,
+            address=address,
+            level=level,
+            constraint=constraint,
+            caused_eviction=evicted,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _line_of(self, address: int) -> int:
+        return address // self.line_size
+
+    def _concretize(
+        self,
+        region: MemoryRegion,
+        index_expr: Expr,
+        feasible: FeasibleFn,
+        solve_value: SolveValueFn,
+    ) -> tuple[int, Expr | None, bool]:
+        """Pick the worst compatible concrete index for a symbolic pointer."""
+        for candidate_index in self._candidate_indices(region):
+            constraint = expr_eq(index_expr, Const(candidate_index))
+            if feasible(constraint):
+                return candidate_index, constraint, True
+        # Fall back to any feasible value within the region.
+        value = solve_value(index_expr)
+        if value is None:
+            value = 0
+        value = min(max(value, 0), region.length - 1)
+        return value, expr_eq(index_expr, Const(value)), False
+
+    def _candidate_indices(self, region: MemoryRegion) -> list[int]:
+        """Candidate element indices expected to cause L3 contention.
+
+        Contention sets already holding resident lines are ranked by how
+        close they are to overflowing the associativity; for each we emit
+        not-yet-touched lines of the same set that fall inside the region.
+        """
+        ranked = sorted(
+            self._resident.items(),
+            key=lambda item: len(item[1]),
+            reverse=True,
+        )
+        candidates: list[int] = []
+        for set_id, resident in ranked:
+            if not resident:
+                continue
+            for address in self.contention_sets.addresses_in_set(set_id):
+                if not region.contains_address(address):
+                    continue
+                if self._line_of(address) in self._touched_lines:
+                    continue
+                index = region.index_of(address)
+                if 0 <= index < region.length:
+                    candidates.append(index)
+                if len(candidates) >= self.max_candidates:
+                    return candidates
+        # No contention to be had (e.g. the region fits in L3): the next
+        # worst thing a symbolic pointer can do is land on state another
+        # packet already touched — that is what grows hash chains and makes
+        # lookups walk further (§5.4's collision workloads).
+        touched = self._touched_elements.get(region.name, [])
+        for index in reversed(touched):
+            if index not in candidates:
+                candidates.append(index)
+            if len(candidates) >= self.max_candidates:
+                break
+        return candidates
+
+    def _charge(self, address: int) -> tuple[str, bool]:
+        """Update model state for a concrete access; return (level, evicted)."""
+        line = self._line_of(address)
+
+        # Recency window: immediately repeated accesses to the same line are
+        # effectively L1 hits (loop bodies touching one element repeatedly).
+        if line in self._recent_lines:
+            self._recent_lines.move_to_end(line)
+            return "L1", False
+
+        set_id = self.contention_sets.set_id_of(address)
+        evicted = False
+        if set_id is None:
+            # Address not covered by the empirical model: charge a cold miss
+            # the first time, an L3 hit afterwards.
+            level = "L3" if line in self._touched_lines else "DRAM"
+        else:
+            resident = self._resident.setdefault(set_id, OrderedDict())
+            if line in resident:
+                resident.move_to_end(line)
+                level = "L3"
+            else:
+                level = "DRAM"
+                resident[line] = True
+                if len(resident) > self.associativity:
+                    resident.popitem(last=False)
+                    evicted = True
+        self._touched_lines.add(line)
+        self._recent_lines[line] = True
+        if len(self._recent_lines) > self.l1_window:
+            self._recent_lines.popitem(last=False)
+        return level, evicted
+
+    # -- reporting ----------------------------------------------------------------
+
+    def resident_summary(self) -> dict[int, int]:
+        """Contention-set id -> number of resident lines (for debugging)."""
+        return {set_id: len(lines) for set_id, lines in self._resident.items() if lines}

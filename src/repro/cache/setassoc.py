@@ -1,0 +1,81 @@
+"""A set-associative cache with LRU replacement.
+
+Used as the building block for every level of the simulated hierarchy.
+Keys are cache-line-aligned addresses (the caller picks physical or virtual
+addressing and which bits select the set).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class SetAssociativeCache:
+    """An ``associativity``-way cache of ``num_sets`` sets with LRU eviction."""
+
+    def __init__(self, num_sets: int, associativity: int, line_size: int = 64) -> None:
+        if num_sets <= 0 or associativity <= 0:
+            raise ValueError("num_sets and associativity must be positive")
+        if line_size & (line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.line_size = line_size
+        # set index -> OrderedDict of line address -> True (MRU at the end)
+        self._sets: list[OrderedDict[int, bool]] = [OrderedDict() for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_sets * self.associativity * self.line_size
+
+    def line_of(self, address: int) -> int:
+        return address // self.line_size
+
+    def set_index_of(self, address: int) -> int:
+        return self.line_of(address) % self.num_sets
+
+    def access(self, address: int, set_index: int | None = None) -> bool:
+        """Access ``address``; returns True on hit, False on miss (and fills)."""
+        line = self.line_of(address)
+        index = self.set_index_of(address) if set_index is None else set_index % self.num_sets
+        ways = self._sets[index]
+        if line in ways:
+            ways.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.associativity:
+            ways.popitem(last=False)
+            self.evictions += 1
+        ways[line] = True
+        return False
+
+    def contains(self, address: int, set_index: int | None = None) -> bool:
+        """True when ``address`` is currently cached (no LRU update)."""
+        line = self.line_of(address)
+        index = self.set_index_of(address) if set_index is None else set_index % self.num_sets
+        return line in self._sets[index]
+
+    def flush(self) -> None:
+        """Empty the cache and reset statistics."""
+        for ways in self._sets:
+            ways.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def occupancy(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(ways) for ways in self._sets)
+
+    def clone(self) -> "SetAssociativeCache":
+        """Deep copy including resident lines and statistics."""
+        other = SetAssociativeCache(self.num_sets, self.associativity, self.line_size)
+        other._sets = [OrderedDict(ways) for ways in self._sets]
+        other.hits = self.hits
+        other.misses = self.misses
+        other.evictions = self.evictions
+        return other

@@ -1,0 +1,254 @@
+"""The CASTAN pipeline (§3.1, §4).
+
+Given a :class:`~repro.nf.base.NetworkFunction`, an analysis run:
+
+1. builds the ICFG and annotates it with potential costs (loop bound M);
+2. builds the cache model: candidate addresses over the NF's large regions
+   are grouped into L3 contention sets (either via the §3.2 probing
+   discovery against the simulated hierarchy, or via the equivalent oracle);
+3. symbolically executes the NF over N symbolic packets under the
+   max-cost searcher, with the cache model concretizing symbolic pointers
+   and ``castan_havoc`` suppressing hash functions;
+4. picks the highest-cost state, solves its path constraint, reconciles
+   havocs with rainbow tables, and materialises N concrete packets plus the
+   per-path CPU-model metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cache.contention import ContentionSets, discover_contention_sets
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.model import CacheModel, ContentionSetCacheModel, NoCacheModel
+from repro.cfg.costs import CostAnnotation, annotate_costs
+from repro.core.config import CastanConfig
+from repro.core.metrics import PathMetrics, metrics_from_state
+from repro.core.workload import make_packet_symbols, packets_from_model, symbol_defaults
+from repro.hashing.rainbow import RainbowTable, build_flow_rainbow_table
+from repro.net.packet import Packet
+from repro.net.pcap import write_pcap
+from repro.nf.base import NetworkFunction
+from repro.symbex.engine import SymbexStats, SymbolicEngine
+from repro.symbex.havoc import ReconciliationOutcome, reconcile_havocs
+from repro.symbex.searcher import make_searcher
+from repro.symbex.solver import Model, Solver
+from repro.symbex.state import ExecutionState
+
+
+@dataclass
+class CastanResult:
+    """Everything a CASTAN run produces for one NF."""
+
+    nf_name: str
+    packets: list[Packet] = field(default_factory=list)
+    metrics: PathMetrics = field(default_factory=PathMetrics)
+    analysis_seconds: float = 0.0
+    states_explored: int = 0
+    completed_paths: int = 0
+    forks: int = 0
+    best_state_cost: int = 0
+    havoc_outcome: ReconciliationOutcome | None = None
+    solver_status: str = ""
+    contention_sets_used: int = 0
+    notes: str = ""
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+    @property
+    def unique_flows(self) -> int:
+        return len({p.flow_tuple for p in self.packets})
+
+    def write_pcap(self, path: str | Path) -> int:
+        """Write the synthesized workload to a pcap file."""
+        return write_pcap(path, self.packets)
+
+    def summary(self) -> str:
+        return (
+            f"CASTAN[{self.nf_name}]: {self.packet_count} packets in {self.unique_flows} flows, "
+            f"estimated cost {self.best_state_cost} cycles, "
+            f"analysis {self.analysis_seconds:.2f}s, "
+            f"{self.states_explored} states explored"
+        )
+
+
+class Castan:
+    """The analysis tool.  Construct once, call :meth:`analyze` per NF."""
+
+    def __init__(self, config: CastanConfig | None = None) -> None:
+        self.config = config or CastanConfig()
+
+    # -- public API -----------------------------------------------------------
+
+    def analyze(self, nf: NetworkFunction, num_packets: int | None = None) -> CastanResult:
+        """Synthesize an adversarial workload for ``nf``."""
+        config = self.config
+        start = time.monotonic()
+        packet_count = num_packets or config.packets_for(nf.castan_packet_count)
+
+        annotation = self._annotate(nf)
+        cache_model, contention_sets = self._build_cache_model(nf)
+        solver = Solver(search_budget=config.solver_budget, seed=config.seed)
+
+        packet_sets = make_packet_symbols(packet_count)
+        defaults = symbol_defaults(packet_sets, nf.packet_defaults)
+
+        engine = SymbolicEngine(
+            module=nf.module,
+            entry=nf.entry,
+            packet_args=[ps.args for ps in packet_sets],
+            annotation=annotation,
+            cache_model=cache_model,
+            solver=solver,
+            cycle_costs=config.cycle_costs,
+            defaults=defaults,
+            hash_output_bits=nf.hash_output_bits,
+            max_loop_iterations=config.max_loop_iterations,
+        )
+        searcher = make_searcher(config.searcher)
+        stats = engine.run(
+            searcher,
+            max_states=config.max_states,
+            deadline_seconds=config.deadline_seconds,
+            max_instructions_per_state=config.max_instructions_per_state,
+        )
+
+        best = stats.best_state()
+        if best is None:
+            return CastanResult(
+                nf_name=nf.name,
+                analysis_seconds=time.monotonic() - start,
+                states_explored=stats.states_explored,
+                notes="no state survived exploration",
+            )
+
+        model, solver_status, havoc_outcome = self._solve_state(nf, best, solver, defaults)
+        packets = packets_from_model(packet_sets, model, nf.packet_defaults)
+        packets = packets[: best.packets_processed] or packets[:1]
+
+        reconciled = len(havoc_outcome.reconciled) if havoc_outcome else 0
+        result = CastanResult(
+            nf_name=nf.name,
+            packets=packets,
+            metrics=metrics_from_state(best, havocs_reconciled=reconciled),
+            analysis_seconds=time.monotonic() - start,
+            states_explored=stats.states_explored,
+            completed_paths=len(stats.completed_states),
+            forks=stats.forks,
+            best_state_cost=best.current_cost,
+            havoc_outcome=havoc_outcome,
+            solver_status=solver_status,
+            contention_sets_used=contention_sets.set_count if contention_sets else 0,
+        )
+        return result
+
+    # -- pipeline stages -----------------------------------------------------------
+
+    def _annotate(self, nf: NetworkFunction) -> CostAnnotation:
+        return annotate_costs(
+            nf.module,
+            nf.entry,
+            loop_bound=self.config.loop_bound,
+            cycle_costs=self.config.cycle_costs,
+        )
+
+    def _build_cache_model(self, nf: NetworkFunction) -> tuple[CacheModel, ContentionSets | None]:
+        """Build the cache model over the NF's large memory regions."""
+        config = self.config
+        if config.cache_model == "none" or not nf.contention_regions:
+            return NoCacheModel(), None
+
+        hierarchy = MemoryHierarchy(config.hierarchy, cycle_costs=config.cycle_costs)
+        addresses = self._candidate_addresses(nf, hierarchy)
+        if not addresses:
+            return NoCacheModel(), None
+        if config.contention_source == "probing":
+            contention_sets = discover_contention_sets(
+                hierarchy,
+                addresses,
+                max_sets=None,
+                runs=1,
+                seed=config.seed,
+            )
+        else:
+            contention_sets = ContentionSets.from_oracle(hierarchy, addresses)
+        model = ContentionSetCacheModel(contention_sets)
+        return model, contention_sets
+
+    def _candidate_addresses(self, nf: NetworkFunction, hierarchy: MemoryHierarchy) -> list[int]:
+        """Sample line-aligned candidate addresses inside the NF's big regions."""
+        config = self.config
+        line = hierarchy.config.line_size
+        addresses: list[int] = []
+        if config.contention_source == "probing":
+            # Probing a pool that spans every L3 set would need tens of
+            # thousands of measurements, so exploit what is public knowledge
+            # (Fig. 1): the set index within a slice comes from known address
+            # bits; only the slice hash is proprietary.  Sampling addresses
+            # that all share one set index concentrates the pool on a handful
+            # of hidden contention sets, which is all the workload needs.
+            stride = hierarchy.config.l3_sets_per_slice * line
+            for region_name in nf.contention_regions:
+                region = nf.module.get_region(region_name)
+                count = min(config.probing_pool_lines, max(1, region.size_bytes // stride))
+                for i in range(count):
+                    addresses.append(region.base_address + i * stride)
+            return addresses
+        pool_lines = config.contention_pool_lines
+        for region_name in nf.contention_regions:
+            region = nf.module.get_region(region_name)
+            total_lines = max(1, region.size_bytes // line)
+            step = max(1, total_lines // pool_lines)
+            for line_index in range(0, total_lines, step):
+                addresses.append(region.base_address + line_index * line)
+        return addresses
+
+    def _solve_state(
+        self,
+        nf: NetworkFunction,
+        state: ExecutionState,
+        solver: Solver,
+        defaults: dict[str, int],
+    ) -> tuple[Model, str, ReconciliationOutcome | None]:
+        """Solve the selected state's path constraint and reconcile havocs."""
+        result = solver.check(state.constraints, defaults=defaults)
+        if not result.is_sat:
+            # Fall back to defaults-only packets; keep the status for the report.
+            return Model(values=dict(defaults)), result.status, None
+        model = result.model
+        havoc_outcome: ReconciliationOutcome | None = None
+        if state.havoc_records and nf.hash_functions:
+            tables = self._rainbow_tables(nf)
+            havoc_outcome = reconcile_havocs(
+                records=state.havoc_records,
+                constraints=state.constraints,
+                model=model,
+                solver=solver,
+                rainbow_tables=tables,
+                hash_functions=nf.hash_functions,
+                defaults=defaults,
+                max_candidates_per_havoc=self.config.max_candidates_per_havoc,
+            )
+            model = havoc_outcome.model
+        return model, result.status, havoc_outcome
+
+    def _rainbow_tables(self, nf: NetworkFunction) -> dict[str, RainbowTable]:
+        """One (cached) rainbow table per hash function the NF uses."""
+        if not hasattr(self, "_rainbow_cache"):
+            self._rainbow_cache: dict[tuple[str, bool], RainbowTable] = {}
+        tables: dict[str, RainbowTable] = {}
+        for name in nf.hash_functions:
+            key = (name, self.config.rainbow_tailored)
+            if key not in self._rainbow_cache:
+                self._rainbow_cache[key] = build_flow_rainbow_table(
+                    tailored=self.config.rainbow_tailored,
+                    chain_length=self.config.rainbow_chain_length,
+                    num_chains=self.config.rainbow_chains,
+                    seed=self.config.seed,
+                )
+            tables[name] = self._rainbow_cache[key]
+        return tables

@@ -1,0 +1,57 @@
+"""Configuration of a CASTAN analysis run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import HierarchyConfig
+from repro.perf.cycles import CycleCosts, DEFAULT_CYCLE_COSTS
+
+
+@dataclass
+class CastanConfig:
+    """Knobs of the analysis (§3, §4).
+
+    The defaults are sized so that a full analysis of any evaluation NF
+    finishes in seconds on a laptop; the paper's runs take minutes to hours
+    on the real KLEE-based prototype (Table 4).
+    """
+
+    # Number of symbolic packets to synthesize (``None`` = per-NF default).
+    num_packets: int | None = None
+    # Exploration budget: states popped from the searcher, and a wall-clock
+    # cap standing in for the paper's time budget.
+    max_states: int = 2000
+    deadline_seconds: float | None = 60.0
+    # Loop bound M for the potential-cost annotation (§3.4).
+    loop_bound: int = 2
+    # Searcher: "castan", "dfs", "bfs" or "random" (ablation).
+    searcher: str = "castan"
+    # Cache model: "contention" (default), "none" (ablation).
+    cache_model: str = "contention"
+    # Where contention sets come from: "oracle" uses the hierarchy's
+    # ground-truth slice/set mapping (equivalent to exhaustive probing, fast);
+    # "probing" runs the §3.2 discovery for real over a sampled address pool.
+    contention_source: str = "oracle"
+    # Number of candidate addresses sampled per large region when building
+    # the cache model ("probing" mode samples fewer for runtime reasons).
+    contention_pool_lines: int = 4096
+    probing_pool_lines: int = 192
+    # Rainbow-table settings for havoc reconciliation (§3.5).
+    rainbow_tailored: bool = True
+    rainbow_chains: int = 4096
+    rainbow_chain_length: int = 32
+    max_candidates_per_havoc: int = 12
+    # Simulated processor geometry and cycle costs (shared with the testbed).
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    cycle_costs: CycleCosts = DEFAULT_CYCLE_COSTS
+    # Engine safety valves.
+    max_instructions_per_state: int = 100_000
+    max_loop_iterations: int = 256
+    # Solver search budget (backtracking nodes).
+    solver_budget: int = 8000
+    seed: int = 0xCA57A
+
+    def packets_for(self, nf_default: int) -> int:
+        """Resolve the packet count for an NF with the given default."""
+        return self.num_packets if self.num_packets is not None else nf_default

@@ -1,0 +1,18 @@
+"""Errors raised by the NF dialect compiler."""
+
+from __future__ import annotations
+
+
+class NFCompileError(SyntaxError):
+    """Raised when NF dialect source uses an unsupported construct.
+
+    The message always names the offending construct and, when available,
+    the source line, so that NF authors can fix the code without reading
+    the compiler.
+    """
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+        self.lineno = lineno

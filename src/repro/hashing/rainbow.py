@@ -1,0 +1,216 @@
+"""Rainbow tables for inverting NF hash functions (§3.5).
+
+A rainbow table trades memory for inversion time: chains of alternating
+hash and *reduction* steps are precomputed, storing only each chain's start
+key and final hash.  To invert a target hash value, the lookup re-applies
+the tail of every possible chain position, finds chains whose stored end
+matches, and walks those chains from the start to recover candidate keys.
+
+The reduction function maps a hash value (plus the chain position, to avoid
+chain merges) back into the *key space*.  CASTAN exploits this degree of
+freedom for "custom-tailored" tables: by sampling keys that already satisfy
+packet constraints (e.g. UDP only, ports in range), the recovered preimages
+are far more likely to survive the solver's compatibility check (§3.5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.hashing.functions import FLOW_HASH_BITS, flow_hash16, lb_flow_key
+
+KeySampler = Callable[[int], int]
+HashFn = Callable[[int], int]
+
+
+@dataclass
+class RainbowTableStats:
+    """Construction/lookup statistics (exposed for the ablation bench)."""
+
+    chains: int = 0
+    chain_length: int = 0
+    distinct_endpoints: int = 0
+    lookups: int = 0
+    chain_walks: int = 0
+    false_alarms: int = 0
+    inversions: int = 0
+
+
+class RainbowTable:
+    """A classic rainbow table over an integer key space."""
+
+    def __init__(
+        self,
+        hash_fn: HashFn,
+        key_sampler: KeySampler,
+        chain_length: int = 64,
+        num_chains: int = 2048,
+        hash_bits: int = FLOW_HASH_BITS,
+        seed: int = 0xB0B,
+    ) -> None:
+        if chain_length < 2:
+            raise ValueError("chain_length must be at least 2")
+        self.hash_fn = hash_fn
+        self.key_sampler = key_sampler
+        self.chain_length = chain_length
+        self.num_chains = num_chains
+        self.hash_bits = hash_bits
+        self.hash_mask = (1 << hash_bits) - 1
+        self._seed = seed
+        self.stats = RainbowTableStats(chains=num_chains, chain_length=chain_length)
+        # end hash -> list of chain start keys
+        self._chains: dict[int, list[int]] = {}
+        self._build()
+
+    # -- construction -----------------------------------------------------------
+
+    def _reduce(self, hash_value: int, position: int) -> int:
+        """Map a hash value (at chain position) back into the key space."""
+        seed = (hash_value * 0x9E3779B97F4A7C15 + position * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+        return self.key_sampler(seed)
+
+    def _build(self) -> None:
+        rng = random.Random(self._seed)
+        for _ in range(self.num_chains):
+            start_key = self.key_sampler(rng.getrandbits(64))
+            key = start_key
+            hash_value = 0
+            for position in range(self.chain_length):
+                hash_value = self.hash_fn(key) & self.hash_mask
+                if position < self.chain_length - 1:
+                    key = self._reduce(hash_value, position)
+            self._chains.setdefault(hash_value, []).append(start_key)
+        self.stats.distinct_endpoints = len(self._chains)
+
+    # -- inversion ---------------------------------------------------------------
+
+    def invert(self, target_hash: int, limit: int = 8) -> list[int]:
+        """Candidate keys ``k`` with ``hash_fn(k) == target_hash``."""
+        target_hash &= self.hash_mask
+        self.stats.lookups += 1
+        found: list[int] = []
+        seen: set[int] = set()
+        # Try every possible position of the target within a chain, from the
+        # end of the chain backwards (cheapest first).
+        for position in range(self.chain_length - 1, -1, -1):
+            end_hash = target_hash
+            for later_position in range(position, self.chain_length - 1):
+                key = self._reduce(end_hash, later_position)
+                end_hash = self.hash_fn(key) & self.hash_mask
+            for start_key in self._chains.get(end_hash, ()):
+                self.stats.chain_walks += 1
+                key = self._walk_chain(start_key, position)
+                if key is None:
+                    self.stats.false_alarms += 1
+                    continue
+                if self.hash_fn(key) & self.hash_mask != target_hash:
+                    self.stats.false_alarms += 1
+                    continue
+                if key not in seen:
+                    seen.add(key)
+                    found.append(key)
+                    self.stats.inversions += 1
+                    if len(found) >= limit:
+                        return found
+        return found
+
+    def _walk_chain(self, start_key: int, position: int) -> int | None:
+        """Return the key at ``position`` within the chain starting at ``start_key``."""
+        key = start_key
+        for current in range(position):
+            hash_value = self.hash_fn(key) & self.hash_mask
+            key = self._reduce(hash_value, current)
+        return key
+
+    # -- introspection ------------------------------------------------------------
+
+    def coverage_estimate(self, samples: int = 512, seed: int = 3) -> float:
+        """Fraction of random target hashes that can be inverted (ablation metric)."""
+        rng = random.Random(seed)
+        successes = 0
+        for _ in range(samples):
+            target = rng.getrandbits(self.hash_bits)
+            if self.invert(target, limit=1):
+                successes += 1
+        return successes / samples
+
+
+class BruteForceInverter:
+    """Fallback inverter: scan keys from a sampler until the hash matches.
+
+    The paper augments rainbow tables with brute force; this class is that
+    augmentation and also serves as the baseline in the rainbow ablation
+    benchmark.
+    """
+
+    def __init__(self, hash_fn: HashFn, key_sampler: KeySampler, hash_bits: int = FLOW_HASH_BITS) -> None:
+        self.hash_fn = hash_fn
+        self.key_sampler = key_sampler
+        self.hash_mask = (1 << hash_bits) - 1
+
+    def invert(self, target_hash: int, limit: int = 8, budget: int = 200_000, seed: int = 11) -> list[int]:
+        target_hash &= self.hash_mask
+        rng = random.Random(seed ^ target_hash)
+        found: list[int] = []
+        for _ in range(budget):
+            key = self.key_sampler(rng.getrandbits(64))
+            if self.hash_fn(key) & self.hash_mask == target_hash:
+                if key not in found:
+                    found.append(key)
+                    if len(found) >= limit:
+                        break
+        return found
+
+
+# -- samplers and prebuilt tables -------------------------------------------------
+
+
+def generic_key_sampler(seed: int) -> int:
+    """Uniformly random 64-bit keys (the *untailored* table of the ablation)."""
+    return seed & ((1 << 64) - 1)
+
+
+def udp_flow_key_sampler(seed: int) -> int:
+    """Tailored sampler: keys that look like UDP flow keys (§3.5).
+
+    The packed layout matches :func:`repro.hashing.functions.lb_flow_key`:
+    a private-range source IP, an ephemeral source port and a small set of
+    plausible service ports — so decomposed preimages satisfy the typical
+    packet constraints without rejection.
+    """
+    rng = random.Random(seed)
+    src_ip = 0x0A000000 | rng.getrandbits(24)  # 10.0.0.0/8
+    src_port = 1024 + rng.randrange(60000)
+    dst_port = rng.choice((53, 80, 123, 443, 8080, 8443))
+    return lb_flow_key(src_ip, src_port, dst_port)
+
+
+def build_flow_rainbow_table(
+    tailored: bool = True,
+    chain_length: int = 32,
+    num_chains: int = 4096,
+    seed: int = 0xB0B,
+) -> RainbowTable:
+    """Build the rainbow table used for the NAT/LB flow hash."""
+    sampler = udp_flow_key_sampler if tailored else generic_key_sampler
+    return RainbowTable(
+        hash_fn=flow_hash16,
+        key_sampler=sampler,
+        chain_length=chain_length,
+        num_chains=num_chains,
+        hash_bits=FLOW_HASH_BITS,
+        seed=seed,
+    )
+
+
+def exhaustive_preimages(
+    hash_fn: HashFn, keys: Iterable[int], hash_bits: int = FLOW_HASH_BITS
+) -> dict[int, list[int]]:
+    """Exact preimage map over an explicit key set (small key spaces only)."""
+    mask = (1 << hash_bits) - 1
+    table: dict[int, list[int]] = {}
+    for key in keys:
+        table.setdefault(hash_fn(key) & mask, []).append(key)
+    return table

@@ -1,0 +1,36 @@
+"""Textual rendering of NFIL modules (the analogue of ``llvm-dis`` output).
+
+The printed form is intended for debugging and documentation: it is stable,
+human-readable and shows instruction uids so that ICFG cost annotations can
+be cross-referenced against the listing.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Function, Module
+
+
+def print_function(function: Function, show_uids: bool = False) -> str:
+    """Render one function as text."""
+    lines = [f"func @{function.name}({', '.join('%' + p for p in function.params)}) {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for instruction in block.instructions:
+            prefix = f"  [{instruction.uid:4d}] " if show_uids else "  "
+            lines.append(f"{prefix}{instruction}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module, show_uids: bool = False) -> str:
+    """Render a whole module (regions first, then functions)."""
+    lines = [f"; module {module.name}"]
+    for region in module.regions.values():
+        lines.append(
+            f"region @{region.name}[{region.length} x {region.element_size}B] "
+            f"base=0x{region.base_address:x}"
+        )
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(print_function(function, show_uids=show_uids))
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""NFIL values: virtual registers and integer constants.
+
+All NFIL values are 64-bit unsigned integers; narrower quantities are
+represented by masking explicitly in the program (exactly how the NF
+dialect sources are written).  This keeps the IR, the symbolic expression
+language and the solver agreeing on a single machine word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MACHINE_BITS = 64
+MACHINE_MASK = (1 << MACHINE_BITS) - 1
+
+
+class Value:
+    """Base class for operands of NFIL instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Register(Value):
+    """A virtual register (SSA-ish name; re-assignment is allowed)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Constant(Value):
+    """An immediate 64-bit unsigned constant."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & MACHINE_MASK)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+def as_value(operand: "Value | int") -> Value:
+    """Coerce a Python int into a :class:`Constant`, pass values through."""
+    if isinstance(operand, Value):
+        return operand
+    if isinstance(operand, bool):
+        return Constant(int(operand))
+    if isinstance(operand, int):
+        return Constant(operand)
+    raise TypeError(f"cannot use {operand!r} as an NFIL operand")

@@ -1,0 +1,108 @@
+"""Structural verification of NFIL modules.
+
+The verifier catches frontend bugs early: unterminated blocks, branches to
+unknown blocks, calls to unknown functions, loads from undeclared regions,
+and use of undefined registers along straight-line code.  It is the NFIL
+analogue of ``llvm::verifyModule``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Branch,
+    Call,
+    Havoc,
+    Jump,
+    Load,
+    Return,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import Register
+
+
+class IRVerificationError(ValueError):
+    """Raised when a module fails structural verification."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify the whole module; raises :class:`IRVerificationError`."""
+    errors: list[str] = []
+    for function in module.functions.values():
+        errors.extend(_verify_function(module, function))
+    if errors:
+        raise IRVerificationError(
+            f"module {module.name!r} failed verification:\n  " + "\n  ".join(errors)
+        )
+
+
+def _verify_function(module: Module, function: Function) -> list[str]:
+    errors: list[str] = []
+    where = f"function {function.name!r}"
+    if not function.blocks:
+        return [f"{where}: has no blocks"]
+
+    block_names = {block.name for block in function.blocks}
+    if len(block_names) != len(function.blocks):
+        errors.append(f"{where}: duplicate block names")
+
+    defined: set[str] = set(function.params)
+    for block in function.blocks:
+        if not block.is_terminated:
+            errors.append(f"{where}, block {block.name!r}: missing terminator")
+        for position, instruction in enumerate(block.instructions):
+            if instruction.is_terminator and position != len(block.instructions) - 1:
+                errors.append(
+                    f"{where}, block {block.name!r}: terminator not last instruction"
+                )
+            errors.extend(_verify_instruction(module, function, block.name, instruction, block_names))
+            result = instruction.result()
+            if result is not None:
+                defined.add(result.name)
+
+    # Register definitions are collected over the whole function first (the
+    # frontend guarantees definite assignment before use on every path), so
+    # this check only reports registers that are never defined anywhere.
+    for block in function.blocks:
+        for instruction in block.instructions:
+            for operand in instruction.operands():
+                if isinstance(operand, Register) and operand.name not in defined:
+                    errors.append(
+                        f"{where}, block {block.name!r}: use of undefined register "
+                        f"%{operand.name} in '{instruction}'"
+                    )
+    return errors
+
+
+def _verify_instruction(module, function, block_name, instruction, block_names) -> list[str]:
+    errors: list[str] = []
+    where = f"function {function.name!r}, block {block_name!r}"
+    if isinstance(instruction, Jump):
+        if instruction.target not in block_names:
+            errors.append(f"{where}: jump to unknown block {instruction.target!r}")
+    elif isinstance(instruction, Branch):
+        for target in (instruction.if_true, instruction.if_false):
+            if target not in block_names:
+                errors.append(f"{where}: branch to unknown block {target!r}")
+    elif isinstance(instruction, (Load, Store)):
+        if instruction.region not in module.regions:
+            errors.append(f"{where}: access to undeclared region @{instruction.region}")
+    elif isinstance(instruction, Call):
+        if instruction.callee not in module.functions:
+            errors.append(f"{where}: call to unknown function @{instruction.callee}")
+        else:
+            callee = module.functions[instruction.callee]
+            if len(callee.params) != len(instruction.args):
+                errors.append(
+                    f"{where}: call to @{instruction.callee} with {len(instruction.args)} "
+                    f"args, expected {len(callee.params)}"
+                )
+    elif isinstance(instruction, Havoc):
+        if instruction.hash_function not in module.functions:
+            errors.append(
+                f"{where}: havoc references unknown hash function @{instruction.hash_function}"
+            )
+    elif isinstance(instruction, (Return, Unreachable)):
+        pass
+    return errors

@@ -1,0 +1,52 @@
+"""Internet checksum (RFC 1071) and helpers used by the packet builders."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    The algorithm is the classic RFC 1071 fold: sum 16-bit big-endian words
+    (padding with a trailing zero byte if the length is odd), fold carries
+    back into the low 16 bits, and return the one's complement.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src_ip: int, dst_ip: int, protocol: int, length: int) -> bytes:
+    """Build the IPv4 pseudo header used for TCP/UDP checksums."""
+    return bytes(
+        [
+            (src_ip >> 24) & 0xFF,
+            (src_ip >> 16) & 0xFF,
+            (src_ip >> 8) & 0xFF,
+            src_ip & 0xFF,
+            (dst_ip >> 24) & 0xFF,
+            (dst_ip >> 16) & 0xFF,
+            (dst_ip >> 8) & 0xFF,
+            dst_ip & 0xFF,
+            0,
+            protocol & 0xFF,
+            (length >> 8) & 0xFF,
+            length & 0xFF,
+        ]
+    )
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return True when a buffer that embeds its own checksum sums to zero."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

@@ -1,0 +1,74 @@
+"""Flow abstractions shared by the workload generators and the NFs.
+
+The paper's workloads are characterised by their flow structure (e.g. the
+Zipfian workload has 100,005 packets in 6,674 unique flows).  A
+:class:`FlowKey` is the canonical 5-tuple; a :class:`Flow` couples a key
+with a packet template so generators can emit many packets of one flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import IPProtocol, Packet
+
+
+@dataclass(frozen=True, order=True)
+class FlowKey:
+    """An IPv4 5-tuple identifying a flow."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int = int(IPProtocol.UDP)
+
+    def reversed(self) -> "FlowKey":
+        """The key of the return-direction flow (endpoints swapped)."""
+        return FlowKey(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+    def to_packet(self, payload: bytes = b"") -> Packet:
+        """Materialise one packet of this flow."""
+        return Packet(
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            protocol=self.protocol,
+            payload=payload,
+        )
+
+    @staticmethod
+    def of_packet(packet: Packet) -> "FlowKey":
+        """Extract the flow key from a packet."""
+        return FlowKey(
+            src_ip=packet.src_ip,
+            dst_ip=packet.dst_ip,
+            src_port=packet.src_port,
+            dst_port=packet.dst_port,
+            protocol=packet.protocol,
+        )
+
+
+@dataclass
+class Flow:
+    """A flow plus the number of packets a workload should emit for it."""
+
+    key: FlowKey
+    packet_count: int = 1
+    payload: bytes = b""
+
+    def packets(self) -> list[Packet]:
+        """Expand the flow into its packet sequence."""
+        return [self.key.to_packet(self.payload) for _ in range(self.packet_count)]
+
+
+def unique_flows(packets: list[Packet]) -> set[FlowKey]:
+    """Return the set of distinct flow keys in a packet sequence."""
+    return {FlowKey.of_packet(p) for p in packets}

@@ -1,0 +1,186 @@
+"""Minimal pcap (libpcap classic format) reader and writer.
+
+CASTAN emits adversarial workloads as pcap files that MoonGen replays; this
+module implements the classic pcap container (magic 0xA1B2C3D4, microsecond
+timestamps, LINKTYPE_ETHERNET) so generated workloads round-trip through a
+format any standard tool (tcpdump, Wireshark, MoonGen) can consume.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.net.packet import Packet, PacketParseError, parse_packet
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_VERSION_MAJOR = 2
+PCAP_VERSION_MINOR = 4
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapFormatError(ValueError):
+    """Raised when a file is not a well-formed classic pcap capture."""
+
+
+@dataclass
+class PcapRecord:
+    """One captured frame: timestamp plus raw bytes."""
+
+    timestamp: float
+    data: bytes
+
+    def to_packet(self) -> Packet:
+        """Parse the raw frame into a :class:`Packet`."""
+        return parse_packet(self.data)
+
+
+class PcapWriter:
+    """Stream packets into a pcap file.
+
+    Usage::
+
+        with PcapWriter(path) as writer:
+            for packet in workload:
+                writer.write_packet(packet)
+    """
+
+    def __init__(self, target: str | Path | BinaryIO, snaplen: int = 65535) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: BinaryIO = open(target, "wb")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._snaplen = snaplen
+        self._clock = 0.0
+        self._stream.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC,
+                PCAP_VERSION_MAJOR,
+                PCAP_VERSION_MINOR,
+                0,  # thiszone
+                0,  # sigfigs
+                snaplen,
+                LINKTYPE_ETHERNET,
+            )
+        )
+
+    def write_frame(self, data: bytes, timestamp: float | None = None) -> None:
+        """Write one raw Ethernet frame."""
+        if timestamp is None:
+            timestamp = self._clock
+            self._clock += 1e-6
+        seconds = int(timestamp)
+        microseconds = int(round((timestamp - seconds) * 1_000_000))
+        captured = data[: self._snaplen]
+        self._stream.write(
+            _RECORD_HEADER.pack(seconds, microseconds, len(captured), len(data))
+        )
+        self._stream.write(captured)
+
+    def write_packet(self, packet: Packet, timestamp: float | None = None) -> None:
+        """Serialise and write one :class:`Packet`."""
+        self.write_frame(packet.to_bytes(), timestamp)
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterate over records of a classic pcap file (either byte order)."""
+
+    def __init__(self, source: str | Path | BinaryIO) -> None:
+        if isinstance(source, (str, Path)):
+            self._stream: BinaryIO = open(source, "rb")
+            self._owns_stream = True
+        else:
+            self._stream = source
+            self._owns_stream = False
+        header = self._stream.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise PcapFormatError("truncated pcap global header")
+        magic_le = struct.unpack("<I", header[:4])[0]
+        if magic_le == PCAP_MAGIC:
+            self._endian = "<"
+        elif magic_le == PCAP_MAGIC_SWAPPED:
+            self._endian = ">"
+        else:
+            raise PcapFormatError(f"bad pcap magic 0x{magic_le:08x}")
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        record = struct.Struct(self._endian + "IIII")
+        while True:
+            header = self._stream.read(record.size)
+            if not header:
+                return
+            if len(header) < record.size:
+                raise PcapFormatError("truncated pcap record header")
+            seconds, microseconds, captured_len, _original_len = record.unpack(header)
+            data = self._stream.read(captured_len)
+            if len(data) < captured_len:
+                raise PcapFormatError("truncated pcap record data")
+            yield PcapRecord(timestamp=seconds + microseconds / 1e6, data=data)
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_pcap(path: str | Path, packets: Iterable[Packet]) -> int:
+    """Write a packet sequence to ``path``; returns the number written."""
+    count = 0
+    with PcapWriter(path) as writer:
+        for packet in packets:
+            writer.write_packet(packet)
+            count += 1
+    return count
+
+
+def read_pcap(path: str | Path, strict: bool = False) -> list[Packet]:
+    """Read all parseable packets from ``path``.
+
+    With ``strict=True`` unparseable frames raise; otherwise they are
+    silently skipped (mirroring how the NFs drop non-IPv4 traffic).
+    """
+    packets: list[Packet] = []
+    with PcapReader(path) as reader:
+        for record in reader:
+            try:
+                packets.append(record.to_packet())
+            except PacketParseError:
+                if strict:
+                    raise
+    return packets
+
+
+def packets_to_pcap_bytes(packets: Iterable[Packet]) -> bytes:
+    """Serialise a packet sequence to in-memory pcap bytes."""
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    for packet in packets:
+        writer.write_packet(packet)
+    return buffer.getvalue()

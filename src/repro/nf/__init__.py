@@ -1,0 +1,28 @@
+"""The evaluation network functions (§5.1).
+
+Twelve NFs, each written in the restricted-Python NF dialect and compiled
+to NFIL: a NOP baseline, three LPM implementations (Patricia trie, 1-stage
+direct lookup, DPDK-style 2-stage lookup), and NAT/LB pairs over four
+associative containers (chained hash table, open-addressing hash ring,
+unbalanced binary tree, red-black tree).  Use
+:func:`repro.nf.registry.get_nf` to obtain a configured
+:class:`repro.nf.base.NetworkFunction`.
+"""
+
+from repro._lazy import lazy_exports
+
+__all__ = [
+    "NetworkFunction",
+    "available_nfs",
+    "get_nf",
+    "NF_NAMES",
+]
+
+_EXPORTS = {
+    "NetworkFunction": (".base", "NetworkFunction"),
+    "available_nfs": (".registry", "available_nfs"),
+    "get_nf": (".registry", "get_nf"),
+    "NF_NAMES": (".registry", "NF_NAMES"),
+}
+
+__getattr__, __dir__ = lazy_exports(__name__, _EXPORTS)

@@ -1,0 +1,78 @@
+"""The :class:`NetworkFunction` descriptor shared by analysis and testbed.
+
+A network function bundles the compiled NFIL module with everything the
+rest of the pipeline needs to know about it: which Python hash callables
+back its ``castan_havoc`` annotations, sensible default packet-field
+values, hints for the workload generators (e.g. the LB's VIP), the number
+of packets CASTAN should synthesize for it (Table 4), and an optional
+hand-crafted *Manual* adversarial workload (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.module import Module
+from repro.net.packet import Packet
+
+# Return values of the NF entry function.  0 means "drop"; positive values
+# are output ports / backend indices / translated ports.
+ACTION_DROP = 0
+ACTION_FORWARD = 1
+
+
+@dataclass
+class NetworkFunction:
+    """A compiled NF plus the metadata the pipeline needs."""
+
+    name: str
+    module: Module
+    entry: str = "process"
+    description: str = ""
+    nf_class: str = "misc"  # "nop" | "lpm" | "nat" | "lb"
+    data_structure: str = ""
+    # Python implementations of the hash functions referenced by havocs.
+    hash_functions: dict[str, Callable[[int], int]] = field(default_factory=dict)
+    # Output width (bits) of each hash function, for havoc symbols.
+    hash_output_bits: dict[str, int] = field(default_factory=dict)
+    # Default values for packet fields left unconstrained by the solver
+    # (keys are field names: src_ip, dst_ip, src_port, dst_port, protocol).
+    packet_defaults: dict[str, int] = field(default_factory=dict)
+    # Hints for workload generators: fields every generated packet must pin
+    # (e.g. the LB's VIP as destination) plus address ranges.
+    workload_hints: dict[str, int] = field(default_factory=dict)
+    # Number of packets CASTAN synthesizes for this NF (Table 4).
+    castan_packet_count: int = 10
+    # Optional hand-crafted adversarial workload (the paper's "Manual").
+    manual_workload: Callable[[int], list[Packet]] | None = None
+    # Names of the large regions worth covering with the cache model.
+    contention_regions: list[str] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def has_manual_workload(self) -> bool:
+        return self.manual_workload is not None
+
+    @property
+    def uses_hashing(self) -> bool:
+        return bool(self.hash_functions)
+
+    def packet_from_fields(self, fields: dict[str, int]) -> Packet:
+        """Build a concrete packet from solver-produced field values."""
+        merged = dict(self.packet_defaults)
+        merged.update(fields)
+        return Packet(
+            src_ip=merged.get("src_ip", 0x0A000001),
+            dst_ip=merged.get("dst_ip", 0x0A000002),
+            src_port=merged.get("src_port", 10000),
+            dst_port=merged.get("dst_port", 80),
+            protocol=merged.get("protocol", 17),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkFunction({self.name!r}, class={self.nf_class}, "
+            f"data_structure={self.data_structure!r}, "
+            f"instructions={self.module.instruction_count})"
+        )

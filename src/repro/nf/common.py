@@ -1,0 +1,184 @@
+"""Shared configuration for the evaluation NFs.
+
+Routing tables (for the LPM NFs), scaled structure sizes, well-known
+addresses (the LB's VIP, the NAT's internal prefix) and the helpers that
+build packed flow keys.  The sizes are scaled down from the paper's
+(1 GB / 64 MB tables, 25.6 MB L3) so experiments run in seconds, while
+preserving the ratios that drive the evaluation: the 1-stage direct-lookup
+table and the hash ring dwarf the simulated L3, the 2-stage first-level
+table exceeds it by a small factor, and everything else fits comfortably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import IPProtocol, Packet
+
+# -- well-known addresses -------------------------------------------------------
+
+VIP_ADDRESS = 0xC0A80001  # 192.168.0.1 — the LB's virtual IP
+INTERNAL_PREFIX_OCTET = 10  # the NAT serves 10.0.0.0/8
+EXTERNAL_SERVER = 0x08080808  # 8.8.8.8 — default external endpoint
+DEFAULT_SERVICE_PORT = 80
+
+# -- scaled structure sizes ------------------------------------------------------
+
+# LPM with 1-stage direct lookup: 2^18 entries of 16 bytes = 4 MiB,
+# i.e. 8x the default simulated L3 (the paper: 1 GB vs 25.6 MB ≈ 40x).
+DIRECT_LOOKUP_BITS = 18
+DIRECT_LOOKUP_ENTRY_BYTES = 16
+
+# DPDK-style 2-stage lookup: first stage 2^16 entries of 16 bytes = 1 MiB
+# (2x the simulated L3; the paper: 64 MB vs 25.6 MB ≈ 2.5x), second stage
+# groups of 256 entries.
+DPDK_STAGE1_BITS = 16
+DPDK_STAGE1_ENTRY_BYTES = 16
+DPDK_TBL8_GROUPS = 64
+DPDK_TBL8_FLAG = 1 << 16
+
+# Patricia/binary trie node pool.
+TRIE_MAX_NODES = 2048
+
+# Chained hash table: 4096 buckets, up to 8192 stored flows (32 KiB of
+# bucket heads — well inside L3, so collisions, not contention, are the
+# attack surface, as in the paper's 65,536-entry table).
+HASH_TABLE_BUCKETS = 4096
+HASH_TABLE_MAX_FLOWS = 8192
+
+# Open-addressing hash ring: 65,536 cache-line-sized entries = 4 MiB,
+# dwarfing the simulated L3 (the paper: 16.7M entries ≈ 1 GB).
+HASH_RING_SIZE = 65536
+HASH_RING_ENTRY_BYTES = 64
+
+# Binary trees (unbalanced and red-black) node pools.
+TREE_MAX_NODES = 8192
+
+# Load balancer backends.
+LB_BACKENDS = 16
+
+# NAT external port allocation starts here.
+NAT_FIRST_EXTERNAL_PORT = 20000
+
+
+# -- the routing table used by every LPM NF (§5.1) --------------------------------
+
+
+@dataclass(frozen=True)
+class Route:
+    """One IPv4 route: ``prefix/length -> port``."""
+
+    prefix: int
+    length: int
+    port: int
+
+    def matches(self, address: int) -> bool:
+        if self.length == 0:
+            return True
+        shift = 32 - self.length
+        return (address >> shift) == (self.prefix >> shift)
+
+
+def build_routes(include_host_routes: bool = True) -> list[Route]:
+    """The paper's forwarding table: 8 routes each of /8, /16, /24 (and /32).
+
+    Prefixes overlap as much as possible: every prefix contains a more
+    specific one (except the host routes).
+    """
+    routes: list[Route] = []
+    port = 1
+    base = INTERNAL_PREFIX_OCTET << 24  # 10.0.0.0
+    for i in range(8):  # /8: 10.0.0.0/8 .. 17.0.0.0/8
+        routes.append(Route(prefix=((INTERNAL_PREFIX_OCTET + i) << 24), length=8, port=port))
+        port += 1
+    for i in range(8):  # /16: 10.0.0.0/16 .. 10.7.0.0/16 (inside 10/8)
+        routes.append(Route(prefix=base | (i << 16), length=16, port=port))
+        port += 1
+    for i in range(8):  # /24: 10.0.0.0/24 .. 10.0.7.0/24 (inside 10.0/16)
+        routes.append(Route(prefix=base | (i << 8), length=24, port=port))
+        port += 1
+    if include_host_routes:
+        for i in range(8):  # /32: 10.0.0.0/32 .. 10.0.0.7/32 (inside 10.0.0/24)
+            routes.append(Route(prefix=base | i, length=32, port=port))
+            port += 1
+    return routes
+
+
+def longest_prefix_match(routes: list[Route], address: int) -> int:
+    """Reference LPM lookup (used by tests as ground truth).  0 = no route."""
+    best_port = 0
+    best_length = -1
+    for route in routes:
+        if route.length > best_length and route.matches(address):
+            best_port = route.port
+            best_length = route.length
+    return best_port
+
+
+def most_specific_route_addresses(routes: list[Route]) -> list[int]:
+    """One address per route, matching its most specific form.
+
+    These are the destinations the Manual LPM workload uses: packets that
+    match the deepest routes and therefore traverse the longest trie paths.
+    """
+    addresses = []
+    for route in sorted(routes, key=lambda r: -r.length):
+        addresses.append(route.prefix | 0 if route.length == 32 else route.prefix)
+    return addresses
+
+
+# -- packet-field defaults shared by the NF descriptors -----------------------------
+
+
+def lpm_packet_defaults() -> dict[str, int]:
+    return {
+        "src_ip": 0xC0A80064,
+        "dst_ip": (INTERNAL_PREFIX_OCTET << 24) | 1,
+        "src_port": 10000,
+        "dst_port": DEFAULT_SERVICE_PORT,
+        "protocol": int(IPProtocol.UDP),
+    }
+
+
+def lb_packet_defaults() -> dict[str, int]:
+    return {
+        "src_ip": 0x0B000001,
+        "dst_ip": VIP_ADDRESS,
+        "src_port": 10000,
+        "dst_port": DEFAULT_SERVICE_PORT,
+        "protocol": int(IPProtocol.UDP),
+    }
+
+
+def nat_packet_defaults() -> dict[str, int]:
+    return {
+        "src_ip": (INTERNAL_PREFIX_OCTET << 24) | 0x000101,
+        "dst_ip": EXTERNAL_SERVER,
+        "src_port": 10000,
+        "dst_port": DEFAULT_SERVICE_PORT,
+        "protocol": int(IPProtocol.UDP),
+    }
+
+
+def lb_workload_hints() -> dict[str, int]:
+    """Generated LB traffic must target the VIP (the only interesting case)."""
+    return {"dst_ip": VIP_ADDRESS, "protocol": int(IPProtocol.UDP)}
+
+
+def nat_workload_hints() -> dict[str, int]:
+    """Generated NAT traffic must come from the internal network."""
+    return {"src_ip_prefix": INTERNAL_PREFIX_OCTET << 24, "src_ip_prefix_bits": 8,
+            "protocol": int(IPProtocol.UDP)}
+
+
+def make_flow_packet(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    protocol: int = int(IPProtocol.UDP),
+) -> Packet:
+    """Small convenience wrapper used by the manual workloads."""
+    return Packet(
+        src_ip=src_ip, dst_ip=dst_ip, src_port=src_port, dst_port=dst_port, protocol=protocol
+    )

@@ -1,0 +1,35 @@
+"""The NOP network function (§5.1).
+
+Forwards every packet without touching any data structure.  The testbed
+uses it as the latency/throughput baseline that isolates the DPDK/driver
+and wire overhead from the NF processing cost; every latency table in the
+paper reports deviations from this NF.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.compiler import compile_nf
+from repro.ir.module import Module
+from repro.nf.base import NetworkFunction
+from repro.nf.common import lpm_packet_defaults
+
+NOP_SOURCE = """
+def process(src_ip, dst_ip, src_port, dst_port, protocol):
+    return 1
+"""
+
+
+def build_nop() -> NetworkFunction:
+    """Build the NOP baseline NF."""
+    module = Module("nop")
+    compile_nf(module, NOP_SOURCE, entry="process")
+    return NetworkFunction(
+        name="nop",
+        module=module,
+        description="Forwards every packet unmodified (testbed baseline).",
+        nf_class="nop",
+        data_structure="none",
+        packet_defaults=lpm_packet_defaults(),
+        castan_packet_count=1,
+        notes="Used as the baseline subtracted from every latency measurement.",
+    )

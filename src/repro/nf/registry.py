@@ -1,0 +1,55 @@
+"""Registry of the evaluation NFs.
+
+``get_nf(name)`` builds a fresh :class:`~repro.nf.base.NetworkFunction`
+(each call compiles a new module, so callers can mutate state freely).
+The names mirror the paper's Table 4 rows plus the NOP baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nf.base import NetworkFunction
+from repro.nf.lb import build_lb
+from repro.nf.lpm_direct import build_lpm_direct
+from repro.nf.lpm_dpdk import build_lpm_dpdk
+from repro.nf.lpm_patricia import build_lpm_patricia
+from repro.nf.nat import build_nat
+from repro.nf.nop import build_nop
+
+_BUILDERS: dict[str, Callable[[], NetworkFunction]] = {
+    "nop": build_nop,
+    "lpm-patricia": build_lpm_patricia,
+    "lpm-direct": build_lpm_direct,
+    "lpm-dpdk": build_lpm_dpdk,
+    "lb-hash-table": lambda: build_lb("hash-table"),
+    "lb-hash-ring": lambda: build_lb("hash-ring"),
+    "lb-unbalanced-tree": lambda: build_lb("unbalanced-tree"),
+    "lb-red-black-tree": lambda: build_lb("red-black-tree"),
+    "nat-hash-table": lambda: build_nat("hash-table"),
+    "nat-hash-ring": lambda: build_nat("hash-ring"),
+    "nat-unbalanced-tree": lambda: build_nat("unbalanced-tree"),
+    "nat-red-black-tree": lambda: build_nat("red-black-tree"),
+}
+
+#: Every NF of the paper's evaluation (11 NFs) plus the NOP baseline.
+NF_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+#: The 11 NFs of Tables 1-5 (without the NOP baseline).
+EVALUATION_NF_NAMES: tuple[str, ...] = tuple(n for n in NF_NAMES if n != "nop")
+
+
+def available_nfs() -> list[str]:
+    """Names accepted by :func:`get_nf`."""
+    return list(NF_NAMES)
+
+
+def get_nf(name: str) -> NetworkFunction:
+    """Build a fresh instance of the named NF."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown NF {name!r}; available: {', '.join(NF_NAMES)}"
+        ) from None
+    return builder()

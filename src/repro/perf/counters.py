@@ -1,0 +1,76 @@
+"""Per-packet performance counters (the libPAPI stand-in).
+
+The evaluation's micro-architectural characterisation reports, per packet:
+reference cycles, instructions retired and L3 misses (DRAM accesses).  The
+concrete interpreter emits one :class:`PacketCounters` per processed packet;
+:func:`aggregate_counters` computes the medians/CDF points the paper's
+tables and figures use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PacketCounters:
+    """Counters measured while processing one packet on the simulated DUT."""
+
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0  # DRAM accesses
+    action: int = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.loads + self.stores
+
+
+@dataclass
+class CounterSummary:
+    """Aggregate view over a sequence of per-packet counters."""
+
+    packets: int = 0
+    median_cycles: float = 0.0
+    median_instructions: float = 0.0
+    median_l3_misses: float = 0.0
+    mean_cycles: float = 0.0
+    max_cycles: int = 0
+    cycles: list[int] = field(default_factory=list)
+    instructions: list[int] = field(default_factory=list)
+    l3_misses: list[int] = field(default_factory=list)
+
+
+def _median(values: list[int]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def aggregate_counters(counters: list[PacketCounters]) -> CounterSummary:
+    """Summarise per-packet counters (medians, mean, max, raw series)."""
+    if not counters:
+        return CounterSummary()
+    cycles = [c.cycles for c in counters]
+    instructions = [c.instructions for c in counters]
+    l3_misses = [c.l3_misses for c in counters]
+    return CounterSummary(
+        packets=len(counters),
+        median_cycles=_median(cycles),
+        median_instructions=_median(instructions),
+        median_l3_misses=_median(l3_misses),
+        mean_cycles=sum(cycles) / len(cycles),
+        max_cycles=max(cycles),
+        cycles=cycles,
+        instructions=instructions,
+        l3_misses=l3_misses,
+    )

@@ -1,0 +1,293 @@
+"""Concrete NFIL interpreter with cycle accounting (the simulated DUT CPU).
+
+The interpreter executes the *same* NFIL module that CASTAN analysed, with
+concrete packet field values, against the simulated memory hierarchy.  Per
+packet it reports reference cycles, instructions retired, loads/stores and
+the cache level servicing every access — the quantities the paper measures
+with hardware performance counters.  ``castan_havoc`` annotations behave as
+in production builds: the hash function is simply called.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.ir.instructions import (
+    BinaryOp,
+    BinOpKind,
+    Branch,
+    Call,
+    CmpKind,
+    Compare,
+    Havoc,
+    Jump,
+    Load,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import Module
+from repro.ir.values import Constant, Register, Value
+from repro.net.packet import Packet
+from repro.perf.counters import PacketCounters
+from repro.perf.cycles import CycleCosts, DEFAULT_CYCLE_COSTS
+
+MACHINE_MASK = (1 << 64) - 1
+
+
+class ExecutionError(RuntimeError):
+    """Raised when the concrete interpreter hits an illegal operation."""
+
+
+@dataclass
+class ExecutionResult:
+    """Counters for a sequence of processed packets."""
+
+    per_packet: list[PacketCounters] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(c.cycles for c in self.per_packet)
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.per_packet)
+
+
+class ConcreteInterpreter:
+    """Executes an NFIL module packet-by-packet on the simulated hierarchy."""
+
+    def __init__(
+        self,
+        module: Module,
+        entry: str,
+        hierarchy: MemoryHierarchy | None = None,
+        cycle_costs: CycleCosts = DEFAULT_CYCLE_COSTS,
+        max_instructions_per_packet: int = 2_000_000,
+    ) -> None:
+        self.module = module
+        self.entry = entry
+        self.hierarchy = hierarchy or MemoryHierarchy()
+        self.cycle_costs = cycle_costs
+        self.max_instructions_per_packet = max_instructions_per_packet
+        self._entry_function = module.get_function(entry)
+        self._blocks = {
+            name: {block.name: block for block in function.blocks}
+            for name, function in module.functions.items()
+        }
+        # Persistent NF state: region -> {index: value}; unset cells read
+        # their declared initial value (default 0).
+        self._memory: dict[str, dict[int, int]] = {
+            name: dict(region.initial) for name, region in module.regions.items()
+        }
+
+    # -- state management ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset NF state and cold-start the caches (fresh DUT boot)."""
+        self._memory = {
+            name: dict(region.initial) for name, region in self.module.regions.items()
+        }
+        self.hierarchy.reset_caches()
+
+    def read_region(self, region_name: str, index: int) -> int:
+        """Inspect NF state (tests and examples)."""
+        region = self.module.get_region(region_name)
+        return self._memory[region_name].get(index, region.initial.get(index, 0))
+
+    # -- packet processing -------------------------------------------------------
+
+    def process_packet(self, packet: Packet) -> PacketCounters:
+        """Process one packet through the entry function."""
+        args = [packet.src_ip, packet.dst_ip, packet.src_port, packet.dst_port, packet.protocol]
+        return self.call_entry(args)
+
+    def process_packets(self, packets: list[Packet]) -> ExecutionResult:
+        """Process a packet sequence, threading NF state across packets."""
+        result = ExecutionResult()
+        for packet in packets:
+            result.per_packet.append(self.process_packet(packet))
+        return result
+
+    def call_entry(self, args: list[int]) -> PacketCounters:
+        """Call the entry function with raw integer arguments."""
+        params = self._entry_function.params
+        if len(args) != len(params):
+            raise ExecutionError(
+                f"entry {self.entry!r} takes {len(params)} args, got {len(args)}"
+            )
+        counters = PacketCounters()
+        value = self._run_function(self.entry, list(args), counters, depth=0)
+        counters.action = value
+        return counters
+
+    def call_function(self, name: str, args: list[int]) -> int:
+        """Call an arbitrary module function concretely (no counters kept)."""
+        return self._run_function(name, list(args), PacketCounters(), depth=0)
+
+    # -- interpreter core -----------------------------------------------------------
+
+    def _run_function(self, name: str, args: list[int], counters: PacketCounters, depth: int) -> int:
+        if depth > 64:
+            raise ExecutionError("call depth limit exceeded")
+        function = self.module.get_function(name)
+        registers: dict[str, int] = {
+            param: arg & MACHINE_MASK for param, arg in zip(function.params, args)
+        }
+        blocks = self._blocks[name]
+        block = function.entry_block
+        index = 0
+        executed = 0
+
+        def operand(value: Value) -> int:
+            if isinstance(value, Constant):
+                return value.value
+            if isinstance(value, Register):
+                try:
+                    return registers[value.name]
+                except KeyError:
+                    raise ExecutionError(
+                        f"read of undefined register %{value.name} in {name}"
+                    ) from None
+            raise ExecutionError(f"unsupported operand {value!r}")
+
+        while True:
+            if index >= len(block.instructions):
+                raise ExecutionError(f"fell off the end of block {block.name!r} in {name}")
+            executed += 1
+            if executed > self.max_instructions_per_packet:
+                raise ExecutionError(f"instruction budget exceeded in {name}")
+            instruction = block.instructions[index]
+            counters.instructions += 1
+
+            if isinstance(instruction, BinaryOp):
+                result = self._binop(instruction.op, operand(instruction.lhs), operand(instruction.rhs))
+                registers[instruction.dest.name] = result
+                counters.cycles += self.cycle_costs.instruction_cost(instruction)
+                index += 1
+            elif isinstance(instruction, Compare):
+                result = self._cmp(instruction.pred, operand(instruction.lhs), operand(instruction.rhs))
+                registers[instruction.dest.name] = result
+                counters.cycles += self.cycle_costs.compare
+                index += 1
+            elif isinstance(instruction, Select):
+                cond = operand(instruction.cond)
+                registers[instruction.dest.name] = (
+                    operand(instruction.if_true) if cond else operand(instruction.if_false)
+                )
+                counters.cycles += self.cycle_costs.select
+                index += 1
+            elif isinstance(instruction, Load):
+                region = self.module.get_region(instruction.region)
+                element = operand(instruction.index)
+                self._check_bounds(region.name, element, region.length)
+                level = self._access(region.address_of(element), counters, is_write=False)
+                counters.loads += 1
+                counters.cycles += self.cycle_costs.memory_cost(level)
+                registers[instruction.dest.name] = self._memory[region.name].get(
+                    element, region.initial.get(element, 0)
+                )
+                index += 1
+            elif isinstance(instruction, Store):
+                region = self.module.get_region(instruction.region)
+                element = operand(instruction.index)
+                self._check_bounds(region.name, element, region.length)
+                level = self._access(region.address_of(element), counters, is_write=True)
+                counters.stores += 1
+                counters.cycles += self.cycle_costs.memory_cost(level)
+                self._memory[region.name][element] = operand(instruction.value) & MACHINE_MASK
+                index += 1
+            elif isinstance(instruction, Call):
+                counters.cycles += self.cycle_costs.call_overhead
+                value = self._run_function(
+                    instruction.callee, [operand(a) for a in instruction.args], counters, depth + 1
+                )
+                if instruction.dest is not None:
+                    registers[instruction.dest.name] = value
+                index += 1
+            elif isinstance(instruction, Havoc):
+                # Production semantics: just call the annotated hash function.
+                counters.cycles += self.cycle_costs.call_overhead
+                value = self._run_function(
+                    instruction.hash_function, [operand(a) for a in instruction.args], counters, depth + 1
+                )
+                registers[instruction.dest.name] = value
+                index += 1
+            elif isinstance(instruction, Jump):
+                counters.cycles += self.cycle_costs.jump
+                block = blocks[instruction.target]
+                index = 0
+            elif isinstance(instruction, Branch):
+                counters.cycles += self.cycle_costs.branch
+                target = instruction.if_true if operand(instruction.cond) else instruction.if_false
+                block = blocks[target]
+                index = 0
+            elif isinstance(instruction, Return):
+                counters.cycles += self.cycle_costs.return_cost
+                return operand(instruction.value) if instruction.value is not None else 0
+            elif isinstance(instruction, Unreachable):
+                raise ExecutionError(f"reached unreachable in {name}")
+            else:
+                raise ExecutionError(f"unknown instruction {instruction!r}")
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _check_bounds(self, region_name: str, index: int, length: int) -> None:
+        if not (0 <= index < length):
+            raise ExecutionError(
+                f"out-of-bounds access to @{region_name}[{index}] (length {length})"
+            )
+
+    def _access(self, address: int, counters: PacketCounters, is_write: bool) -> str:
+        level = self.hierarchy.access(address, is_write=is_write)
+        if level == "L1":
+            counters.l1_hits += 1
+        elif level == "L2":
+            counters.l2_hits += 1
+        elif level == "L3":
+            counters.l3_hits += 1
+        else:
+            counters.l3_misses += 1
+        return level
+
+    @staticmethod
+    def _binop(op: BinOpKind, lhs: int, rhs: int) -> int:
+        if op is BinOpKind.ADD:
+            return (lhs + rhs) & MACHINE_MASK
+        if op is BinOpKind.SUB:
+            return (lhs - rhs) & MACHINE_MASK
+        if op is BinOpKind.MUL:
+            return (lhs * rhs) & MACHINE_MASK
+        if op is BinOpKind.UDIV:
+            return (lhs // rhs) & MACHINE_MASK if rhs else MACHINE_MASK
+        if op is BinOpKind.UREM:
+            return (lhs % rhs) & MACHINE_MASK if rhs else lhs
+        if op is BinOpKind.AND:
+            return lhs & rhs
+        if op is BinOpKind.OR:
+            return lhs | rhs
+        if op is BinOpKind.XOR:
+            return lhs ^ rhs
+        if op is BinOpKind.SHL:
+            return (lhs << rhs) & MACHINE_MASK if rhs < 64 else 0
+        if op is BinOpKind.LSHR:
+            return lhs >> rhs if rhs < 64 else 0
+        raise ExecutionError(f"unknown binary op {op}")
+
+    @staticmethod
+    def _cmp(pred: CmpKind, lhs: int, rhs: int) -> int:
+        if pred is CmpKind.EQ:
+            return int(lhs == rhs)
+        if pred is CmpKind.NE:
+            return int(lhs != rhs)
+        if pred is CmpKind.ULT:
+            return int(lhs < rhs)
+        if pred is CmpKind.ULE:
+            return int(lhs <= rhs)
+        if pred is CmpKind.UGT:
+            return int(lhs > rhs)
+        if pred is CmpKind.UGE:
+            return int(lhs >= rhs)
+        raise ExecutionError(f"unknown comparison {pred}")

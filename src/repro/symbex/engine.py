@@ -1,0 +1,480 @@
+"""The symbolic execution engine: NFIL interpretation with forking states.
+
+The engine executes the NF's entry function once per symbolic packet,
+threading NF state (memory regions) across packets within one execution
+state.  Branches on symbolic conditions fork; loads and stores with
+symbolic indices are concretized by the pluggable cache model; hash
+functions annotated with ``castan_havoc`` are suppressed and havoced.  The
+caller supplies a :class:`~repro.symbex.searcher.Searcher` that decides
+which pending state to explore next — CASTAN's searcher maximises
+current + potential cost (§3.3–3.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cfg.costs import CostAnnotation
+from repro.ir.instructions import (
+    BinaryOp,
+    Branch,
+    Call,
+    Compare,
+    Havoc,
+    Instruction,
+    Jump,
+    Load,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.module import BasicBlock, Module
+from repro.ir.values import Constant, Register, Value
+from repro.perf.cycles import CycleCosts, DEFAULT_CYCLE_COSTS
+from repro.symbex.expr import (
+    Const,
+    Expr,
+    Sym,
+    evaluate,
+    expr_eq,
+    expr_ne,
+    expr_not,
+    make_binop,
+    make_cmp,
+    make_select,
+    symbols_of,
+)
+from repro.symbex.havoc import HavocRecord
+from repro.symbex.searcher import Searcher
+from repro.symbex.solver import Solver
+from repro.symbex.state import ExecutionState, Frame, StateStatus
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a package-level import cycle
+    from repro.cache.model import CacheModel
+
+_LOOP_HEAD_PREFIXES = ("while.cond", "for.cond")
+
+
+@dataclass
+class SymbexStats:
+    """Aggregate statistics of one symbolic-execution run."""
+
+    states_explored: int = 0
+    instructions_executed: int = 0
+    forks: int = 0
+    infeasible_states: int = 0
+    error_states: int = 0
+    completed_states: list[ExecutionState] = field(default_factory=list)
+    pending_states: list[ExecutionState] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+
+    def best_state(self) -> ExecutionState | None:
+        """The highest-cost state, preferring states that finished all packets."""
+        if self.completed_states:
+            return max(self.completed_states, key=lambda s: s.current_cost)
+        candidates = self.pending_states
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: (s.packets_processed, s.current_cost))
+
+
+class SymbolicEngine:
+    """Interprets an NFIL module over a sequence of symbolic packets."""
+
+    def __init__(
+        self,
+        module: Module,
+        entry: str,
+        packet_args: list[list[Expr]],
+        annotation: CostAnnotation | None = None,
+        cache_model: "CacheModel | None" = None,
+        solver: Solver | None = None,
+        cycle_costs: CycleCosts = DEFAULT_CYCLE_COSTS,
+        defaults: dict[str, int] | None = None,
+        hash_output_bits: dict[str, int] | None = None,
+        max_loop_iterations: int = 256,
+    ) -> None:
+        self.module = module
+        self.entry = entry
+        self.packet_args = packet_args
+        self.annotation = annotation
+        if cache_model is None:
+            # Imported here (not at module level) to keep the symbex and
+            # cache packages free of a circular import at init time.
+            from repro.cache.model import NoCacheModel
+
+            cache_model = NoCacheModel()
+        self.cache_model = cache_model
+        self.solver = solver or Solver()
+        self.cycle_costs = cycle_costs
+        self.defaults = dict(defaults or {})
+        self.hash_output_bits = dict(hash_output_bits or {})
+        self.max_loop_iterations = max_loop_iterations
+
+        self._entry_function = module.get_function(entry)
+        if len(self._entry_function.params) != len(packet_args[0]) if packet_args else False:
+            raise ValueError("packet argument count does not match entry parameters")
+        # Pre-index blocks for O(1) lookup during interpretation.
+        self._blocks: dict[str, dict[str, BasicBlock]] = {
+            name: {block.name: block for block in function.blocks}
+            for name, function in module.functions.items()
+        }
+        self._stats: SymbexStats | None = None
+
+    # -- state construction ------------------------------------------------------
+
+    def make_initial_state(self) -> ExecutionState:
+        state = ExecutionState(cache_model=self.cache_model.clone(), num_packets=len(self.packet_args))
+        self._start_packet(state, packet_index=0)
+        return state
+
+    def _start_packet(self, state: ExecutionState, packet_index: int) -> None:
+        args = self.packet_args[packet_index]
+        params = self._entry_function.params
+        if len(args) != len(params):
+            raise ValueError(
+                f"packet {packet_index} provides {len(args)} args, entry takes {len(params)}"
+            )
+        registers = {param: arg for param, arg in zip(params, args)}
+        state.push_frame(
+            Frame(
+                function=self.entry,
+                block=self._entry_function.entry_block.name,
+                index=0,
+                registers=registers,
+            )
+        )
+        state.begin_packet()
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(
+        self,
+        searcher: Searcher,
+        max_states: int | None = None,
+        deadline_seconds: float | None = None,
+        max_instructions_per_state: int = 100_000,
+        max_pending_report: int = 512,
+    ) -> SymbexStats:
+        """Explore paths until the searcher drains or a budget is exhausted."""
+        stats = SymbexStats()
+        self._stats = stats
+        start = time.monotonic()
+
+        initial = self.make_initial_state()
+        self._update_priority(initial)
+        searcher.add(initial)
+
+        while not searcher.empty:
+            if max_states is not None and stats.states_explored >= max_states:
+                break
+            if deadline_seconds is not None and time.monotonic() - start > deadline_seconds:
+                break
+            state = searcher.pop()
+            stats.states_explored += 1
+            for outcome in self.execute_until_fork(state, max_instructions_per_state):
+                if outcome.status is StateStatus.RUNNING:
+                    self._update_priority(outcome)
+                    searcher.add(outcome)
+                elif outcome.status is StateStatus.COMPLETED:
+                    stats.completed_states.append(outcome)
+                elif outcome.status is StateStatus.INFEASIBLE:
+                    stats.infeasible_states += 1
+                else:
+                    stats.error_states += 1
+
+        # Whatever is still pending is reported so the caller can fall back
+        # to the highest-cost partial state (the paper halts on a time
+        # budget and picks the best state seen so far).
+        while not searcher.empty and len(stats.pending_states) < max_pending_report:
+            stats.pending_states.append(searcher.pop())
+        stats.wall_time_seconds = time.monotonic() - start
+        self._stats = None
+        return stats
+
+    # -- single-state execution -----------------------------------------------------
+
+    def execute_until_fork(
+        self, state: ExecutionState, max_instructions: int = 100_000
+    ) -> list[ExecutionState]:
+        """Run ``state`` until it forks, completes, or errors.
+
+        Returns every state that needs classification by the caller: the
+        (possibly paused) state itself plus any children created at forks.
+        """
+        collected: list[ExecutionState] = []
+        executed = 0
+        while state.status is StateStatus.RUNNING:
+            if executed >= max_instructions:
+                state.status = StateStatus.ERROR
+                state.error_message = "instruction budget exceeded"
+                break
+            instruction = self._current_instruction(state)
+            if instruction is None:
+                state.status = StateStatus.ERROR
+                state.error_message = "fell off the end of a basic block"
+                break
+            executed += 1
+            state.instructions_retired += 1
+            if self._stats is not None:
+                self._stats.instructions_executed += 1
+
+            if isinstance(instruction, Branch):
+                finished = self._execute_branch(state, instruction, collected)
+                if finished:
+                    break
+                continue
+            self._execute_simple(state, instruction)
+        collected.append(state)
+        return collected
+
+    # -- instruction dispatch ----------------------------------------------------------
+
+    def _current_instruction(self, state: ExecutionState) -> Instruction | None:
+        frame = state.top_frame
+        block = self._blocks[frame.function].get(frame.block)
+        if block is None or frame.index >= len(block.instructions):
+            return None
+        return block.instructions[frame.index]
+
+    def _operand(self, state: ExecutionState, value: Value) -> Expr:
+        if isinstance(value, Constant):
+            return Const(value.value)
+        if isinstance(value, Register):
+            return state.read_register(value.name)
+        raise TypeError(f"unsupported operand {value!r}")
+
+    def _charge(self, state: ExecutionState, cycles: int) -> None:
+        state.current_cost += cycles
+
+    def _execute_simple(self, state: ExecutionState, instruction: Instruction) -> None:
+        frame = state.top_frame
+        if isinstance(instruction, BinaryOp):
+            lhs = self._operand(state, instruction.lhs)
+            rhs = self._operand(state, instruction.rhs)
+            state.write_register(instruction.dest.name, make_binop(instruction.op, lhs, rhs))
+            self._charge(state, self.cycle_costs.instruction_cost(instruction))
+            frame.index += 1
+            return
+        if isinstance(instruction, Compare):
+            lhs = self._operand(state, instruction.lhs)
+            rhs = self._operand(state, instruction.rhs)
+            state.write_register(instruction.dest.name, make_cmp(instruction.pred, lhs, rhs))
+            self._charge(state, self.cycle_costs.compare)
+            frame.index += 1
+            return
+        if isinstance(instruction, Select):
+            cond = self._operand(state, instruction.cond)
+            if_true = self._operand(state, instruction.if_true)
+            if_false = self._operand(state, instruction.if_false)
+            state.write_register(instruction.dest.name, make_select(cond, if_true, if_false))
+            self._charge(state, self.cycle_costs.select)
+            frame.index += 1
+            return
+        if isinstance(instruction, Load):
+            self._execute_memory(state, instruction, is_write=False)
+            frame.index += 1
+            return
+        if isinstance(instruction, Store):
+            self._execute_memory(state, instruction, is_write=True)
+            frame.index += 1
+            return
+        if isinstance(instruction, Call):
+            self._execute_call(state, instruction)
+            return
+        if isinstance(instruction, Havoc):
+            self._execute_havoc(state, instruction)
+            frame.index += 1
+            return
+        if isinstance(instruction, Jump):
+            self._charge(state, self.cycle_costs.jump)
+            frame.block = instruction.target
+            frame.index = 0
+            return
+        if isinstance(instruction, Return):
+            self._execute_return(state, instruction)
+            return
+        if isinstance(instruction, Unreachable):
+            state.status = StateStatus.ERROR
+            state.error_message = "reached an unreachable instruction"
+            return
+        state.status = StateStatus.ERROR
+        state.error_message = f"unknown instruction {instruction!r}"
+
+    def _execute_memory(self, state: ExecutionState, instruction, is_write: bool) -> None:
+        region = self.module.get_region(instruction.region)
+        index_expr = self._operand(state, instruction.index)
+
+        if isinstance(index_expr, Const) and not (0 <= index_expr.value < region.length):
+            state.status = StateStatus.ERROR
+            state.error_message = (
+                f"out-of-bounds access to @{region.name}[{index_expr.value}] "
+                f"(length {region.length})"
+            )
+            return
+
+        def feasible(constraint: Expr) -> bool:
+            return self.solver.quick_feasible(state.constraints + [constraint])
+
+        def solve_value(expr: Expr) -> int | None:
+            result = self.solver.check(state.constraints, defaults=self.defaults)
+            if not result.is_sat:
+                return None
+            assignment = {
+                symbol.name: result.model.get(symbol.name, self.defaults.get(symbol.name, 0))
+                for symbol in symbols_of(expr)
+            }
+            return evaluate(expr, assignment)
+
+        decision = state.cache_model.on_access(region, index_expr, is_write, feasible, solve_value)
+        if decision.constraint is not None:
+            state.add_constraint(decision.constraint)
+        self._charge(state, self.cycle_costs.memory_cost(decision.level))
+        state.level_counts[decision.level] = state.level_counts.get(decision.level, 0) + 1
+
+        if is_write:
+            value = self._operand(state, instruction.value)
+            state.write_memory(region.name, decision.index, value)
+            state.stores += 1
+        else:
+            default = region.initial.get(decision.index, 0)
+            value = state.read_memory(region.name, decision.index, default=default)
+            state.write_register(instruction.dest.name, value)
+            state.loads += 1
+
+    def _execute_call(self, state: ExecutionState, instruction: Call) -> None:
+        callee = self.module.get_function(instruction.callee)
+        args = [self._operand(state, arg) for arg in instruction.args]
+        self._charge(state, self.cycle_costs.call_overhead)
+        caller_frame = state.top_frame
+        caller_frame.index += 1  # resume after the call on return
+        state.push_frame(
+            Frame(
+                function=callee.name,
+                block=callee.entry_block.name,
+                index=0,
+                registers={param: arg for param, arg in zip(callee.params, args)},
+                return_target=instruction.dest.name if instruction.dest else None,
+            )
+        )
+
+    def _execute_havoc(self, state: ExecutionState, instruction: Havoc) -> None:
+        key_expr = self._operand(state, instruction.key)
+        args = [self._operand(state, arg) for arg in instruction.args]
+        bits = self.hash_output_bits.get(instruction.hash_function, 32)
+        symbol = Sym(state.fresh_symbol_name("hv"), bits=bits)
+        state.havoc_records.append(
+            HavocRecord(
+                symbol=symbol,
+                key_expr=key_expr,
+                hash_function=instruction.hash_function,
+                args=args,
+                packet_index=state.packets_processed,
+            )
+        )
+        state.write_register(instruction.dest.name, symbol)
+        # Charge what the suppressed hash call would roughly have cost, so
+        # the cost comparison between paths is not skewed by havocing.
+        self._charge(state, self.cycle_costs.hash_call)
+
+    def _execute_return(self, state: ExecutionState, instruction: Return) -> None:
+        value = (
+            self._operand(state, instruction.value)
+            if instruction.value is not None
+            else Const(0)
+        )
+        self._charge(state, self.cycle_costs.return_cost)
+        finished_frame = state.pop_frame()
+        if state.frames:
+            if finished_frame.return_target is not None:
+                state.write_register(finished_frame.return_target, value)
+            return
+        # The entry function returned: one packet fully processed.
+        state.finish_packet(value)
+        if state.packets_processed < state.num_packets:
+            self._start_packet(state, state.packets_processed)
+        else:
+            state.status = StateStatus.COMPLETED
+
+    # -- branches ---------------------------------------------------------------------
+
+    def _execute_branch(
+        self, state: ExecutionState, instruction: Branch, collected: list[ExecutionState]
+    ) -> bool:
+        """Execute a branch.  Returns True when the caller must stop stepping."""
+        frame = state.top_frame
+        self._charge(state, self.cycle_costs.branch)
+        cond = self._operand(state, instruction.cond)
+
+        if isinstance(cond, Const):
+            frame.block = instruction.if_true if cond.value else instruction.if_false
+            frame.index = 0
+            return False
+
+        true_constraint = expr_ne(cond, Const(0))
+        false_constraint = expr_not(true_constraint)
+        feasible_true = self.solver.quick_feasible(state.constraints + [true_constraint])
+        feasible_false = self.solver.quick_feasible(state.constraints + [false_constraint])
+
+        is_loop_head = frame.block.startswith(_LOOP_HEAD_PREFIXES)
+        if is_loop_head:
+            visits = frame.loop_visits.get(frame.block, 0) + 1
+            frame.loop_visits[frame.block] = visits
+            if visits > self.max_loop_iterations and feasible_false:
+                # Safety valve against runaway loops under optimistic
+                # feasibility: force the exit edge.
+                feasible_true = False
+
+        if not feasible_true and not feasible_false:
+            state.status = StateStatus.INFEASIBLE
+            return True
+        if feasible_true != feasible_false:
+            constraint = true_constraint if feasible_true else false_constraint
+            target = instruction.if_true if feasible_true else instruction.if_false
+            state.add_constraint(constraint)
+            frame.block = target
+            frame.index = 0
+            return False
+
+        # Both directions feasible: fork.
+        if self._stats is not None:
+            self._stats.forks += 1
+        child = state.fork()
+        child.add_constraint(false_constraint)
+        child_frame = child.top_frame
+        child_frame.block = instruction.if_false
+        child_frame.index = 0
+
+        state.add_constraint(true_constraint)
+        frame.block = instruction.if_true
+        frame.index = 0
+
+        if is_loop_head:
+            # §3.4: at a loop head, prefer the one-more-iteration state and
+            # queue the exit state for later exploration.
+            state.preferred_loop_iteration = True
+            self._update_priority(child)
+            collected.append(child)
+            return False
+        self._update_priority(child)
+        collected.append(child)
+        return True
+
+    # -- cost heuristic ------------------------------------------------------------------
+
+    def _update_priority(self, state: ExecutionState) -> None:
+        """current cost + potential cost to the end of the last packet (§3.1)."""
+        potential = 0
+        if self.annotation is not None and state.status is StateStatus.RUNNING:
+            for frame in state.frames:
+                block = self._blocks[frame.function].get(frame.block)
+                if block is None or frame.index >= len(block.instructions):
+                    continue
+                potential += self.annotation.cost_of(block.instructions[frame.index].uid)
+            remaining_packets = max(0, state.num_packets - state.packets_processed - 1)
+            potential += remaining_packets * self.annotation.entry_cost(self.entry)
+        state.priority = state.current_cost + potential

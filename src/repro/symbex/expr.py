@@ -1,0 +1,380 @@
+"""Symbolic expressions over 64-bit unsigned machine words.
+
+Expressions are small immutable trees: constants, named symbols (with a
+declared bit width), binary operations reusing the NFIL operator set,
+comparisons (producing 0/1) and selects.  Construction performs constant
+folding and a handful of algebraic simplifications so that path constraints
+stay small and the solver's pattern matching sees normalised shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.ir.instructions import BinOpKind, CmpKind
+
+MACHINE_BITS = 64
+MACHINE_MASK = (1 << MACHINE_BITS) - 1
+
+
+class Expr:
+    """Base class of all symbolic expressions."""
+
+    __slots__ = ()
+
+    @property
+    def is_concrete(self) -> bool:
+        return isinstance(self, Const)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A concrete 64-bit value."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & MACHINE_MASK)
+
+    def __str__(self) -> str:
+        return f"0x{self.value:x}" if self.value > 9 else str(self.value)
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    """A named symbolic input with a bit width (default: full word)."""
+
+    name: str
+    bits: int = MACHINE_BITS
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    """A binary arithmetic/bitwise operation."""
+
+    op: BinOpKind
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op.value} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class CmpExpr(Expr):
+    """A comparison; evaluates to 1 (true) or 0 (false)."""
+
+    pred: CmpKind
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.pred.value} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class SelectExpr(Expr):
+    """``cond ? if_true : if_false`` with a 0/1 condition."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def __str__(self) -> str:
+        return f"({self.cond} ? {self.if_true} : {self.if_false})"
+
+
+TRUE = Const(1)
+FALSE = Const(0)
+
+
+def const(value: int) -> Const:
+    return Const(value & MACHINE_MASK)
+
+
+def _apply_binop(op: BinOpKind, lhs: int, rhs: int) -> int:
+    if op is BinOpKind.ADD:
+        return (lhs + rhs) & MACHINE_MASK
+    if op is BinOpKind.SUB:
+        return (lhs - rhs) & MACHINE_MASK
+    if op is BinOpKind.MUL:
+        return (lhs * rhs) & MACHINE_MASK
+    if op is BinOpKind.UDIV:
+        return (lhs // rhs) & MACHINE_MASK if rhs else MACHINE_MASK
+    if op is BinOpKind.UREM:
+        return (lhs % rhs) & MACHINE_MASK if rhs else lhs
+    if op is BinOpKind.AND:
+        return lhs & rhs
+    if op is BinOpKind.OR:
+        return lhs | rhs
+    if op is BinOpKind.XOR:
+        return lhs ^ rhs
+    if op is BinOpKind.SHL:
+        return (lhs << rhs) & MACHINE_MASK if rhs < MACHINE_BITS else 0
+    if op is BinOpKind.LSHR:
+        return lhs >> rhs if rhs < MACHINE_BITS else 0
+    raise ValueError(f"unknown binary operation {op}")
+
+
+def _apply_cmp(pred: CmpKind, lhs: int, rhs: int) -> int:
+    if pred is CmpKind.EQ:
+        return int(lhs == rhs)
+    if pred is CmpKind.NE:
+        return int(lhs != rhs)
+    if pred is CmpKind.ULT:
+        return int(lhs < rhs)
+    if pred is CmpKind.ULE:
+        return int(lhs <= rhs)
+    if pred is CmpKind.UGT:
+        return int(lhs > rhs)
+    if pred is CmpKind.UGE:
+        return int(lhs >= rhs)
+    raise ValueError(f"unknown comparison {pred}")
+
+
+def make_binop(op: BinOpKind, lhs: Expr, rhs: Expr) -> Expr:
+    """Build a binary operation with constant folding and simplification."""
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        return Const(_apply_binop(op, lhs.value, rhs.value))
+    # Identity simplifications that keep solver patterns clean.
+    if isinstance(rhs, Const):
+        if rhs.value == 0 and op in (BinOpKind.ADD, BinOpKind.SUB, BinOpKind.OR,
+                                     BinOpKind.XOR, BinOpKind.SHL, BinOpKind.LSHR):
+            return lhs
+        if rhs.value == 0 and op is BinOpKind.AND:
+            return Const(0)
+        if rhs.value == MACHINE_MASK and op is BinOpKind.AND:
+            return lhs
+        if rhs.value == 1 and op is BinOpKind.MUL:
+            return lhs
+        if rhs.value == 0 and op is BinOpKind.MUL:
+            return Const(0)
+    if isinstance(lhs, Const):
+        if lhs.value == 0 and op in (BinOpKind.ADD, BinOpKind.OR, BinOpKind.XOR):
+            return rhs
+        if lhs.value == 0 and op in (BinOpKind.AND, BinOpKind.MUL, BinOpKind.SHL,
+                                     BinOpKind.LSHR, BinOpKind.UDIV, BinOpKind.UREM):
+            return Const(0)
+        if lhs.value == 1 and op is BinOpKind.MUL:
+            return rhs
+    # Masking a symbol to (or beyond) its declared width is a no-op.
+    if (
+        op is BinOpKind.AND
+        and isinstance(rhs, Const)
+        and isinstance(lhs, Sym)
+        and (lhs.mask & rhs.value) == lhs.mask
+    ):
+        return lhs
+    # Collapse nested shifts by constants: (x >> a) >> b = x >> (a+b).
+    if (
+        op is BinOpKind.LSHR
+        and isinstance(rhs, Const)
+        and isinstance(lhs, BinExpr)
+        and lhs.op is BinOpKind.LSHR
+        and isinstance(lhs.rhs, Const)
+    ):
+        return make_binop(BinOpKind.LSHR, lhs.lhs, Const(lhs.rhs.value + rhs.value))
+    # Collapse nested constant additions: (x + a) + b = x + (a+b).
+    if (
+        op is BinOpKind.ADD
+        and isinstance(rhs, Const)
+        and isinstance(lhs, BinExpr)
+        and lhs.op is BinOpKind.ADD
+        and isinstance(lhs.rhs, Const)
+    ):
+        return make_binop(BinOpKind.ADD, lhs.lhs, Const(lhs.rhs.value + rhs.value))
+    # Collapse nested constant masks: (x & a) & b = x & (a&b).
+    if (
+        op is BinOpKind.AND
+        and isinstance(rhs, Const)
+        and isinstance(lhs, BinExpr)
+        and lhs.op is BinOpKind.AND
+        and isinstance(lhs.rhs, Const)
+    ):
+        return make_binop(BinOpKind.AND, lhs.lhs, Const(lhs.rhs.value & rhs.value))
+    return BinExpr(op=op, lhs=lhs, rhs=rhs)
+
+
+_NEGATED_PRED = {
+    CmpKind.EQ: CmpKind.NE,
+    CmpKind.NE: CmpKind.EQ,
+    CmpKind.ULT: CmpKind.UGE,
+    CmpKind.ULE: CmpKind.UGT,
+    CmpKind.UGT: CmpKind.ULE,
+    CmpKind.UGE: CmpKind.ULT,
+}
+
+
+def make_cmp(pred: CmpKind, lhs: Expr, rhs: Expr) -> Expr:
+    """Build a comparison with constant folding."""
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        return Const(_apply_cmp(pred, lhs.value, rhs.value))
+    # Comparisons of a 0/1 comparison result against 0 or 1 collapse to the
+    # inner comparison (possibly negated): this is what branch conditions on
+    # compare instructions produce, and the solver relies on the flat form.
+    if isinstance(lhs, CmpExpr) and isinstance(rhs, Const) and rhs.value in (0, 1):
+        keep_inner = {
+            (CmpKind.EQ, 1): True,
+            (CmpKind.NE, 0): True,
+            (CmpKind.UGE, 1): True,
+            (CmpKind.UGT, 0): True,
+            (CmpKind.EQ, 0): False,
+            (CmpKind.NE, 1): False,
+            (CmpKind.ULT, 1): False,
+            (CmpKind.ULE, 0): False,
+        }.get((pred, rhs.value))
+        if keep_inner is True:
+            return lhs
+        if keep_inner is False:
+            return CmpExpr(pred=_NEGATED_PRED[lhs.pred], lhs=lhs.lhs, rhs=lhs.rhs)
+    if lhs == rhs:
+        if pred in (CmpKind.EQ, CmpKind.ULE, CmpKind.UGE):
+            return TRUE
+        if pred in (CmpKind.NE, CmpKind.ULT, CmpKind.UGT):
+            return FALSE
+    # A symbol compared against a constant beyond its width is decidable.
+    if isinstance(lhs, Sym) and isinstance(rhs, Const) and rhs.value > lhs.mask:
+        if pred in (CmpKind.EQ, CmpKind.UGT, CmpKind.UGE):
+            return FALSE
+        if pred in (CmpKind.NE, CmpKind.ULT, CmpKind.ULE):
+            return TRUE
+    return CmpExpr(pred=pred, lhs=lhs, rhs=rhs)
+
+
+def make_select(cond: Expr, if_true: Expr, if_false: Expr) -> Expr:
+    if isinstance(cond, Const):
+        return if_true if cond.value != 0 else if_false
+    if if_true == if_false:
+        return if_true
+    return SelectExpr(cond=cond, if_true=if_true, if_false=if_false)
+
+
+def expr_eq(lhs: Expr, rhs: Expr) -> Expr:
+    return make_cmp(CmpKind.EQ, lhs, rhs)
+
+
+def expr_ne(lhs: Expr, rhs: Expr) -> Expr:
+    return make_cmp(CmpKind.NE, lhs, rhs)
+
+
+def expr_not(value: Expr) -> Expr:
+    """Logical negation of a 0/1 condition expression."""
+    if isinstance(value, Const):
+        return FALSE if value.value else TRUE
+    if isinstance(value, CmpExpr):
+        negated = {
+            CmpKind.EQ: CmpKind.NE,
+            CmpKind.NE: CmpKind.EQ,
+            CmpKind.ULT: CmpKind.UGE,
+            CmpKind.ULE: CmpKind.UGT,
+            CmpKind.UGT: CmpKind.ULE,
+            CmpKind.UGE: CmpKind.ULT,
+        }[value.pred]
+        return CmpExpr(pred=negated, lhs=value.lhs, rhs=value.rhs)
+    return make_cmp(CmpKind.EQ, value, Const(0))
+
+
+def expr_and(lhs: Expr, rhs: Expr) -> Expr:
+    """Logical conjunction of 0/1 conditions."""
+    if isinstance(lhs, Const):
+        return rhs if lhs.value else FALSE
+    if isinstance(rhs, Const):
+        return lhs if rhs.value else FALSE
+    return make_binop(BinOpKind.AND, lhs, rhs)
+
+
+def simplify(expr: Expr) -> Expr:
+    """Re-normalise an expression bottom-up (idempotent)."""
+    if isinstance(expr, (Const, Sym)):
+        return expr
+    if isinstance(expr, BinExpr):
+        return make_binop(expr.op, simplify(expr.lhs), simplify(expr.rhs))
+    if isinstance(expr, CmpExpr):
+        return make_cmp(expr.pred, simplify(expr.lhs), simplify(expr.rhs))
+    if isinstance(expr, SelectExpr):
+        return make_select(simplify(expr.cond), simplify(expr.if_true), simplify(expr.if_false))
+    return expr
+
+
+def symbols_of(expr: Expr) -> set[Sym]:
+    """All symbols occurring in ``expr``."""
+    result: set[Sym] = set()
+    _collect_symbols(expr, result)
+    return result
+
+
+def _collect_symbols(expr: Expr, into: set[Sym]) -> None:
+    if isinstance(expr, Sym):
+        into.add(expr)
+    elif isinstance(expr, BinExpr):
+        _collect_symbols(expr.lhs, into)
+        _collect_symbols(expr.rhs, into)
+    elif isinstance(expr, CmpExpr):
+        _collect_symbols(expr.lhs, into)
+        _collect_symbols(expr.rhs, into)
+    elif isinstance(expr, SelectExpr):
+        _collect_symbols(expr.cond, into)
+        _collect_symbols(expr.if_true, into)
+        _collect_symbols(expr.if_false, into)
+
+
+def evaluate(expr: Expr, assignment: dict[str, int]) -> int:
+    """Evaluate ``expr`` under a complete assignment of its symbols.
+
+    Raises ``KeyError`` if a required symbol is missing from ``assignment``.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Sym):
+        return assignment[expr.name] & expr.mask
+    if isinstance(expr, BinExpr):
+        return _apply_binop(expr.op, evaluate(expr.lhs, assignment), evaluate(expr.rhs, assignment))
+    if isinstance(expr, CmpExpr):
+        return _apply_cmp(expr.pred, evaluate(expr.lhs, assignment), evaluate(expr.rhs, assignment))
+    if isinstance(expr, SelectExpr):
+        cond = evaluate(expr.cond, assignment)
+        return evaluate(expr.if_true if cond else expr.if_false, assignment)
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+def substitute(expr: Expr, assignment: dict[str, int]) -> Expr:
+    """Replace any symbols present in ``assignment`` by constants."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Sym):
+        if expr.name in assignment:
+            return Const(assignment[expr.name] & expr.mask)
+        return expr
+    if isinstance(expr, BinExpr):
+        return make_binop(expr.op, substitute(expr.lhs, assignment), substitute(expr.rhs, assignment))
+    if isinstance(expr, CmpExpr):
+        return make_cmp(expr.pred, substitute(expr.lhs, assignment), substitute(expr.rhs, assignment))
+    if isinstance(expr, SelectExpr):
+        return make_select(
+            substitute(expr.cond, assignment),
+            substitute(expr.if_true, assignment),
+            substitute(expr.if_false, assignment),
+        )
+    raise TypeError(f"cannot substitute into {expr!r}")
+
+
+@lru_cache(maxsize=4096)
+def expr_depth(expr: Expr) -> int:
+    """Tree depth of an expression (used to cap solver effort)."""
+    if isinstance(expr, (Const, Sym)):
+        return 1
+    if isinstance(expr, BinExpr):
+        return 1 + max(expr_depth(expr.lhs), expr_depth(expr.rhs))
+    if isinstance(expr, CmpExpr):
+        return 1 + max(expr_depth(expr.lhs), expr_depth(expr.rhs))
+    if isinstance(expr, SelectExpr):
+        return 1 + max(expr_depth(expr.cond), expr_depth(expr.if_true), expr_depth(expr.if_false))
+    return 1

@@ -1,0 +1,149 @@
+"""Havoc records and rainbow-table reconciliation (§3.5).
+
+During analysis every ``castan_havoc`` annotation produces a
+:class:`HavocRecord`: the symbolic expression of the hash *input* (the key),
+the name of the hash function that was suppressed, and the fresh symbol that
+replaced its output.  After the highest-cost state is selected and solved,
+:func:`reconcile_havocs` performs the paper's three-step reconciliation:
+
+1. take the hash value the solver chose for the havoc symbol;
+2. invert it with a rainbow table (brute-force augmented) to get candidate
+   keys;
+3. ask the solver whether a candidate key is compatible with the packet
+   constraints; if so, pin the key and the (now genuine) hash value.
+
+Havocs that cannot be reconciled are reported as such — the workload is
+still emitted (with the unconstrained hash value), matching the paper's
+partially-reconciled NAT results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.symbex.expr import Const, Expr, Sym, evaluate, expr_eq
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hashing.rainbow import RainbowTable
+    from repro.symbex.solver import Model, Solver
+
+
+@dataclass
+class HavocRecord:
+    """One suppressed hash-function invocation."""
+
+    symbol: Sym
+    key_expr: Expr
+    hash_function: str
+    args: list[Expr] = field(default_factory=list)
+    packet_index: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"havoc {self.symbol.name} = {self.hash_function}(key={self.key_expr}) "
+            f"[packet {self.packet_index}]"
+        )
+
+
+@dataclass
+class ReconciliationOutcome:
+    """Result of reconciling the havocs of one selected path."""
+
+    model: "Model"
+    reconciled: list[HavocRecord] = field(default_factory=list)
+    failed: list[HavocRecord] = field(default_factory=list)
+    attempts: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.reconciled) + len(self.failed)
+
+    @property
+    def success_rate(self) -> float:
+        return len(self.reconciled) / self.total if self.total else 1.0
+
+
+def reconcile_havocs(
+    records: list[HavocRecord],
+    constraints: list[Expr],
+    model: "Model",
+    solver: "Solver",
+    rainbow_tables: dict[str, "RainbowTable"],
+    hash_functions: dict[str, Callable[[int], int]],
+    defaults: dict[str, int] | None = None,
+    max_candidates_per_havoc: int = 16,
+) -> ReconciliationOutcome:
+    """Reconcile every havoc in ``records`` against the path constraints.
+
+    ``rainbow_tables`` maps hash-function name to the table used for
+    inversion; ``hash_functions`` maps the same names to concrete Python
+    implementations used to re-verify candidate keys.  Reconciliation is
+    incremental: constraints pinned for earlier havocs stay in force while
+    later ones are reconciled, so related keys (e.g. the NAT's two entries
+    per flow) are handled consistently — and may legitimately fail, as in
+    the paper.
+    """
+    outcome = ReconciliationOutcome(model=model.copy())
+    working_constraints = list(constraints)
+
+    for record in records:
+        table = rainbow_tables.get(record.hash_function)
+        hash_fn = hash_functions.get(record.hash_function)
+        if table is None or hash_fn is None:
+            outcome.failed.append(record)
+            continue
+
+        desired_hash = outcome.model.get(record.symbol.name, 0)
+        candidate_keys = list(table.invert(desired_hash, limit=max_candidates_per_havoc))
+        reconciled = False
+        for candidate_key in candidate_keys:
+            outcome.attempts += 1
+            actual_hash = hash_fn(candidate_key)
+            if actual_hash != desired_hash:
+                # Rainbow chains can produce false positives; skip them.
+                continue
+            trial_constraints = working_constraints + [
+                expr_eq(record.key_expr, Const(candidate_key)),
+                expr_eq(record.symbol, Const(desired_hash)),
+            ]
+            result = solver.check(trial_constraints, defaults=defaults)
+            if result.is_sat:
+                working_constraints = trial_constraints
+                outcome.model = result.model
+                outcome.reconciled.append(record)
+                reconciled = True
+                break
+        if not reconciled:
+            outcome.failed.append(record)
+
+    # Keep the model consistent with any constraints pinned along the way.
+    final = solver.check(working_constraints, defaults=defaults)
+    if final.is_sat:
+        outcome.model = final.model
+    return outcome
+
+
+def havoc_hash_consistency(
+    records: list[HavocRecord],
+    model: "Model",
+    hash_functions: dict[str, Callable[[int], int]],
+) -> dict[str, bool]:
+    """For each havoc symbol, does hash(key under model) equal its model value?
+
+    Used by tests and by the metrics output to report which havocs were
+    genuinely reconciled end-to-end.
+    """
+    consistency: dict[str, bool] = {}
+    for record in records:
+        hash_fn = hash_functions.get(record.hash_function)
+        if hash_fn is None:
+            consistency[record.symbol.name] = False
+            continue
+        try:
+            key_value = evaluate(record.key_expr, model.values)
+        except KeyError:
+            consistency[record.symbol.name] = False
+            continue
+        consistency[record.symbol.name] = hash_fn(key_value) == model.get(record.symbol.name, 0)
+    return consistency

@@ -1,0 +1,137 @@
+"""State-selection strategies ("searchers", §3.4, §4).
+
+KLEE decides which pending state to explore next through a pluggable
+searcher; CASTAN's custom searcher orders states by their estimated cost
+(current cycles consumed plus the annotated potential cost of the next
+instruction) and always picks the most expensive.  DFS/BFS/random searchers
+are provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+
+from repro.symbex.state import ExecutionState
+
+
+class Searcher:
+    """Interface: a mutable pool of pending execution states."""
+
+    def add(self, state: ExecutionState) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> ExecutionState:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class CastanSearcher(Searcher):
+    """Max-cost priority search (the paper's directed heuristic).
+
+    States are ordered by ``state.priority`` (current + potential cost);
+    ties go to the state inserted most recently, which keeps the search
+    depth-first-ish among equally promising states — the behaviour the
+    paper relies on to "pick the worst among almost equal candidates".
+    A small bonus is applied to states marked as preferred loop iterations
+    so that, all else being equal, the engine keeps deepening loops.
+    """
+
+    def __init__(self, loop_iteration_bonus: int = 1) -> None:
+        self._heap: list[tuple[int, int, ExecutionState]] = []
+        self._counter = itertools.count()
+        self.loop_iteration_bonus = loop_iteration_bonus
+
+    def add(self, state: ExecutionState) -> None:
+        priority = state.priority
+        if state.preferred_loop_iteration:
+            priority += self.loop_iteration_bonus
+        # Python's heapq is a min-heap: negate priority; negate the counter
+        # so that, on ties, the most recently added state pops first.
+        heapq.heappush(self._heap, (-priority, -next(self._counter), state))
+
+    def pop(self) -> ExecutionState:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class DepthFirstSearcher(Searcher):
+    """LIFO exploration (KLEE's DFS) — ablation baseline."""
+
+    def __init__(self) -> None:
+        self._stack: list[ExecutionState] = []
+
+    def add(self, state: ExecutionState) -> None:
+        self._stack.append(state)
+
+    def pop(self) -> ExecutionState:
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class BreadthFirstSearcher(Searcher):
+    """FIFO exploration — ablation baseline."""
+
+    def __init__(self) -> None:
+        self._queue: deque[ExecutionState] = deque()
+
+    def add(self, state: ExecutionState) -> None:
+        self._queue.append(state)
+
+    def pop(self) -> ExecutionState:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class RandomSearcher(Searcher):
+    """Uniformly random state selection — ablation baseline."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._states: list[ExecutionState] = []
+        self._rng = random.Random(seed)
+
+    def add(self, state: ExecutionState) -> None:
+        self._states.append(state)
+
+    def pop(self) -> ExecutionState:
+        index = self._rng.randrange(len(self._states))
+        self._states[index], self._states[-1] = self._states[-1], self._states[index]
+        return self._states.pop()
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+
+SEARCHERS = {
+    "castan": CastanSearcher,
+    "dfs": DepthFirstSearcher,
+    "bfs": BreadthFirstSearcher,
+    "random": RandomSearcher,
+}
+
+
+def make_searcher(name: str, **kwargs) -> Searcher:
+    """Instantiate a searcher by name (``castan``, ``dfs``, ``bfs``, ``random``)."""
+    try:
+        factory = SEARCHERS[name]
+    except KeyError:
+        raise ValueError(f"unknown searcher {name!r}; options: {sorted(SEARCHERS)}") from None
+    return factory(**kwargs)

@@ -1,0 +1,669 @@
+"""Constraint solver for CASTAN path constraints.
+
+The paths CASTAN explores constrain packet-header symbols with equality and
+ordering comparisons over masked/shifted/arithmetic combinations of those
+symbols (plus unconstrained havoc symbols standing in for hash values).
+This solver is specialised to that class: it is not a general SMT solver,
+but it plays the same role KLEE's solver does in the paper — deciding
+branch feasibility and producing concrete models for the selected state.
+
+It works in three phases:
+
+1. **Propagation** — constraints are normalised and pattern-matched against
+   per-symbol domains: fixed assignments, known-bit masks (for
+   ``(sym >> k) & m == c`` shapes, which is what trie bit tests and lookup
+   indices produce), intervals and small exclusion sets.  Contradictions
+   found here make the result UNSAT.
+2. **Algebraic inversion** — equalities whose non-constant side contains a
+   single symbol occurrence are inverted through ADD/SUB/XOR/MUL/SHL/LSHR/
+   AND/OR/UDIV/UREM chains to propose exact values.
+3. **Bounded backtracking** — remaining symbols are enumerated from
+   constraint-derived candidate values with a node budget; all constraints
+   are re-checked by evaluation, so any model returned is sound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import BinOpKind, CmpKind
+from repro.symbex.expr import (
+    BinExpr,
+    CmpExpr,
+    Const,
+    Expr,
+    SelectExpr,
+    Sym,
+    evaluate,
+    simplify,
+    substitute,
+    symbols_of,
+)
+
+MACHINE_MASK = (1 << 64) - 1
+
+
+@dataclass
+class Model:
+    """A satisfying assignment of symbol names to concrete values."""
+
+    values: dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> int:
+        return self.values[name]
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def copy(self) -> "Model":
+        return Model(values=dict(self.values))
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a solver query."""
+
+    status: str  # "sat", "unsat" or "unknown"
+    model: Model | None = None
+    reason: str = ""
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class _Domain:
+    """Per-symbol domain tracked during propagation."""
+
+    __slots__ = ("symbol", "known_mask", "known_value", "lo", "hi", "exclusions")
+
+    def __init__(self, symbol: Sym) -> None:
+        self.symbol = symbol
+        self.known_mask = 0
+        self.known_value = 0
+        self.lo = 0
+        self.hi = symbol.mask
+        self.exclusions: set[int] = set()
+
+    @property
+    def fully_known(self) -> bool:
+        return self.known_mask == self.symbol.mask
+
+    @property
+    def value(self) -> int:
+        return self.known_value
+
+    def set_bits(self, mask: int, value: int) -> bool:
+        """Record that ``sym & mask == value & mask``; False on conflict."""
+        mask &= self.symbol.mask
+        value &= mask
+        overlap = self.known_mask & mask
+        if (self.known_value & overlap) != (value & overlap):
+            return False
+        self.known_mask |= mask
+        self.known_value |= value
+        return True
+
+    def constrain_interval(self, lo: int | None = None, hi: int | None = None) -> bool:
+        if lo is not None:
+            self.lo = max(self.lo, lo)
+        if hi is not None:
+            self.hi = min(self.hi, hi)
+        return self.lo <= self.hi
+
+    def candidates(self, rng: random.Random, limit: int = 12) -> list[int]:
+        """Concrete values to try during backtracking, most promising first."""
+        base = self.known_value & self.known_mask
+        free = self.symbol.mask & ~self.known_mask
+        out: list[int] = []
+
+        def push(value: int) -> None:
+            value &= self.symbol.mask
+            if (value & self.known_mask) != (self.known_value & self.known_mask):
+                return
+            if not (self.lo <= value <= self.hi):
+                return
+            if value in self.exclusions:
+                return
+            if value not in out:
+                out.append(value)
+
+        push(base)
+        push(base | free)  # all free bits set
+        push(max(self.lo, base))
+        push(min(self.hi, base | free))
+        # Small intervals (e.g. produced by port-range or count constraints)
+        # are enumerated exhaustively so exclusions cannot starve the search.
+        if self.hi - self.lo < limit * 4:
+            for value in range(self.lo, self.hi + 1):
+                push(value)
+        attempts = 0
+        while len(out) < limit and attempts < limit * 4:
+            attempts += 1
+            push(base | (rng.getrandbits(64) & free))
+        return out
+
+
+class Solver:
+    """Bit-vector constraint solver (see module docstring)."""
+
+    def __init__(self, search_budget: int = 6000, seed: int = 0xCA57A) -> None:
+        self.search_budget = search_budget
+        self._seed = seed
+
+    # -- public API ----------------------------------------------------------
+
+    def check(
+        self,
+        constraints: list[Expr],
+        defaults: dict[str, int] | None = None,
+        extra_candidates: dict[str, list[int]] | None = None,
+    ) -> SolverResult:
+        """Find a model satisfying all ``constraints``.
+
+        ``defaults`` supplies values for symbols left unconstrained (so that
+        synthesized packets get sensible field values); ``extra_candidates``
+        lets callers suggest values to try first for specific symbols (used
+        by rainbow-table reconciliation).
+        """
+        constraints = [simplify(c) for c in constraints]
+        symbols = self._collect_symbols(constraints)
+        assignment: dict[str, int] = {}
+        domains = {s.name: _Domain(s) for s in symbols.values()}
+
+        status, remaining = self._propagate(constraints, assignment, domains)
+        if status == "unsat":
+            return SolverResult(status="unsat", reason="propagation found a contradiction")
+
+        rng = random.Random(self._seed)
+        # Default field values are tried first during backtracking: workloads
+        # synthesized from weakly-constrained paths then look like realistic
+        # packets instead of zero-filled ones, and monotone default keys often
+        # satisfy tree-ordering constraints directly.
+        merged_candidates: dict[str, list[int]] = {
+            name: [value] for name, value in (defaults or {}).items()
+        }
+        for name, values in (extra_candidates or {}).items():
+            merged_candidates.setdefault(name, [])
+            merged_candidates[name] = list(values) + merged_candidates[name]
+        ok = self._search(remaining, assignment, domains, rng, merged_candidates)
+        if not ok:
+            # The search is incomplete; report unknown rather than unsat
+            # unless propagation alone already proved a contradiction.
+            return SolverResult(status="unknown", reason="search budget exhausted")
+
+        model = Model(values=dict(assignment))
+        for name, symbol in symbols.items():
+            if name not in model.values:
+                default = (defaults or {}).get(name, 0)
+                domain = domains[name]
+                value = (default & ~domain.known_mask) | domain.known_value
+                value &= symbol.mask
+                if value in domain.exclusions or not (domain.lo <= value <= domain.hi):
+                    for candidate in domain.candidates(rng):
+                        value = candidate
+                        break
+                model.values[name] = value
+        # Final soundness check: every constraint must evaluate to true.
+        for constraint in constraints:
+            if evaluate(constraint, model.values) == 0:
+                return SolverResult(status="unknown", reason=f"model check failed: {constraint}")
+        return SolverResult(status="sat", model=model)
+
+    def is_satisfiable(self, constraints: list[Expr]) -> bool:
+        """True when a model was found (unknown counts as unsatisfiable)."""
+        return self.check(constraints).is_sat
+
+    def quick_feasible(self, constraints: list[Expr]) -> bool:
+        """Cheap feasibility filter used at branch points.
+
+        Runs propagation only: returns ``False`` only when a definite
+        contradiction is found, ``True`` otherwise (possibly optimistically).
+        """
+        constraints = [simplify(c) for c in constraints]
+        symbols = self._collect_symbols(constraints)
+        assignment: dict[str, int] = {}
+        domains = {s.name: _Domain(s) for s in symbols.values()}
+        status, _remaining = self._propagate(constraints, assignment, domains)
+        return status != "unsat"
+
+    # -- propagation ---------------------------------------------------------
+
+    def _collect_symbols(self, constraints: list[Expr]) -> dict[str, Sym]:
+        symbols: dict[str, Sym] = {}
+        for constraint in constraints:
+            for symbol in symbols_of(constraint):
+                symbols[symbol.name] = symbol
+        return symbols
+
+    def _propagate(
+        self,
+        constraints: list[Expr],
+        assignment: dict[str, int],
+        domains: dict[str, _Domain],
+    ) -> tuple[str, list[Expr]]:
+        """Fixed-point propagation; returns (status, unresolved constraints)."""
+        pending = list(constraints)
+        for _round in range(32):
+            changed = False
+            unresolved: list[Expr] = []
+            for constraint in pending:
+                reduced = simplify(substitute(constraint, assignment))
+                if isinstance(reduced, Const):
+                    if reduced.value == 0:
+                        return "unsat", []
+                    continue
+                outcome = self._propagate_one(reduced, assignment, domains)
+                if outcome == "unsat":
+                    return "unsat", []
+                if outcome == "changed":
+                    changed = True
+                unresolved.append(reduced)
+            # Promote fully-known domains to assignments.
+            for name, domain in domains.items():
+                if name not in assignment and domain.fully_known:
+                    value = domain.value
+                    if value in domain.exclusions or not (domain.lo <= value <= domain.hi):
+                        return "unsat", []
+                    assignment[name] = value
+                    changed = True
+            pending = unresolved
+            if not changed:
+                break
+        return "ok", pending
+
+    def _propagate_one(
+        self, constraint: Expr, assignment: dict[str, int], domains: dict[str, _Domain]
+    ) -> str:
+        if not isinstance(constraint, CmpExpr):
+            return "none"
+        lhs, rhs, pred = constraint.lhs, constraint.rhs, constraint.pred
+        # Normalise so the constant (if any) is on the right.
+        if isinstance(lhs, Const) and not isinstance(rhs, Const):
+            lhs, rhs = rhs, lhs
+            pred = {
+                CmpKind.ULT: CmpKind.UGT,
+                CmpKind.ULE: CmpKind.UGE,
+                CmpKind.UGT: CmpKind.ULT,
+                CmpKind.UGE: CmpKind.ULE,
+            }.get(pred, pred)
+        if not isinstance(rhs, Const):
+            return "none"
+        target = rhs.value
+
+        if pred is CmpKind.EQ:
+            matched = self._match_masked_shift(lhs)
+            if matched is not None:
+                symbol, shift, mask = matched
+                domain = self._domain_for(symbol, domains)
+                if target & ~mask:
+                    return "unsat"
+                if not domain.set_bits(mask << shift, (target & mask) << shift):
+                    return "unsat"
+                return "changed"
+            inverted = self._invert(lhs, target)
+            if inverted is not None:
+                symbol, value = inverted
+                domain = self._domain_for(symbol, domains)
+                if value > symbol.mask:
+                    return "unsat"
+                if not domain.set_bits(symbol.mask, value):
+                    return "unsat"
+                return "changed"
+            decomposed = self._decompose_disjoint(lhs, target)
+            if decomposed is not None:
+                outcome = "none"
+                for sub_expr, sub_target in decomposed:
+                    sub_result = self._propagate_one(
+                        CmpExpr(pred=CmpKind.EQ, lhs=sub_expr, rhs=Const(sub_target)),
+                        assignment,
+                        domains,
+                    )
+                    if sub_result == "unsat":
+                        return "unsat"
+                    if sub_result == "changed":
+                        outcome = "changed"
+                return outcome
+            return "none"
+
+        if isinstance(lhs, Sym):
+            domain = self._domain_for(lhs, domains)
+            if pred is CmpKind.NE:
+                if len(domain.exclusions) < 4096:
+                    domain.exclusions.add(target & lhs.mask)
+                return "changed"
+            if pred is CmpKind.ULT:
+                ok = domain.constrain_interval(hi=target - 1) if target > 0 else False
+            elif pred is CmpKind.ULE:
+                ok = domain.constrain_interval(hi=target)
+            elif pred is CmpKind.UGT:
+                ok = domain.constrain_interval(lo=target + 1)
+            elif pred is CmpKind.UGE:
+                ok = domain.constrain_interval(lo=target)
+            else:
+                return "none"
+            return "changed" if ok else "unsat"
+        return "none"
+
+    def _domain_for(self, symbol: Sym, domains: dict[str, _Domain]) -> _Domain:
+        if symbol.name not in domains:
+            domains[symbol.name] = _Domain(symbol)
+        return domains[symbol.name]
+
+    @staticmethod
+    def _match_masked_shift(expr: Expr) -> tuple[Sym, int, int] | None:
+        """Match ``(sym >> shift) & mask`` (shift and/or mask optional)."""
+        shift = 0
+        mask = MACHINE_MASK
+        node = expr
+        if isinstance(node, BinExpr) and node.op is BinOpKind.AND and isinstance(node.rhs, Const):
+            mask = node.rhs.value
+            node = node.lhs
+        if isinstance(node, BinExpr) and node.op is BinOpKind.LSHR and isinstance(node.rhs, Const):
+            shift = node.rhs.value
+            node = node.lhs
+        if isinstance(node, Sym):
+            mask &= node.mask >> shift
+            return node, shift, mask
+        return None
+
+    def _possible_bits(self, expr: Expr) -> int | None:
+        """Upper bound on which bits of ``expr`` can ever be non-zero.
+
+        Returns ``None`` when no useful bound can be computed (e.g. for
+        subtraction or division, whose results can spill into any bit).
+        """
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Sym):
+            return expr.mask
+        if isinstance(expr, BinExpr):
+            lhs = self._possible_bits(expr.lhs)
+            rhs = self._possible_bits(expr.rhs)
+            if expr.op in (BinOpKind.OR, BinOpKind.XOR):
+                if lhs is None or rhs is None:
+                    return None
+                return lhs | rhs
+            if expr.op is BinOpKind.AND:
+                if lhs is None and rhs is None:
+                    return None
+                if lhs is None:
+                    return rhs
+                if rhs is None:
+                    return lhs
+                return lhs & rhs
+            if expr.op is BinOpKind.SHL and isinstance(expr.rhs, Const):
+                if lhs is None or expr.rhs.value >= 64:
+                    return None
+                return (lhs << expr.rhs.value) & MACHINE_MASK
+            if expr.op is BinOpKind.LSHR and isinstance(expr.rhs, Const):
+                if lhs is None:
+                    return None
+                return lhs >> expr.rhs.value
+            if expr.op is BinOpKind.ADD:
+                # Addition of values with disjoint possible bits cannot carry,
+                # so it behaves exactly like OR.
+                if lhs is None or rhs is None or (lhs & rhs):
+                    return None
+                return lhs | rhs
+            return None
+        if isinstance(expr, CmpExpr):
+            return 1
+        return None
+
+    def _decompose_disjoint(self, expr: Expr, target: int) -> list[tuple[Expr, int]] | None:
+        """Split ``expr == target`` into per-field constraints.
+
+        Applies when ``expr`` is an OR/XOR/ADD combination of sub-expressions
+        whose possible bit masks are pairwise disjoint — the shape produced
+        by packing flow keys as ``field_a | (field_b << k) | ...``.
+        """
+        if not isinstance(expr, BinExpr) or expr.op not in (
+            BinOpKind.OR,
+            BinOpKind.XOR,
+            BinOpKind.ADD,
+        ):
+            return None
+        parts: list[Expr] = []
+
+        def flatten(node: Expr) -> None:
+            if isinstance(node, BinExpr) and node.op is expr.op:
+                flatten(node.lhs)
+                flatten(node.rhs)
+            else:
+                parts.append(node)
+
+        flatten(expr)
+        if len(parts) < 2:
+            return None
+        masks: list[int] = []
+        union = 0
+        for part in parts:
+            mask = self._possible_bits(part)
+            if mask is None or (mask & union):
+                return None
+            masks.append(mask)
+            union |= mask
+        if target & ~union:
+            return None  # target needs bits no part can produce: leave to search
+        return [(part, target & mask) for part, mask in zip(parts, masks)]
+
+    # -- algebraic inversion ---------------------------------------------------
+
+    def _invert(self, expr: Expr, target: int) -> tuple[Sym, int] | None:
+        """Solve ``expr == target`` when expr contains one symbol occurrence."""
+        occurrences = self._count_symbol_occurrences(expr)
+        if len(occurrences) != 1 or next(iter(occurrences.values())) != 1:
+            return None
+        value = self._invert_rec(expr, target)
+        if value is None:
+            return None
+        symbol = next(iter(symbols_of(expr)))
+        return symbol, value & symbol.mask if value <= symbol.mask else value
+
+    def _count_symbol_occurrences(self, expr: Expr) -> dict[str, int]:
+        counts: dict[str, int] = {}
+
+        def walk(node: Expr) -> None:
+            if isinstance(node, Sym):
+                counts[node.name] = counts.get(node.name, 0) + 1
+            elif isinstance(node, BinExpr):
+                walk(node.lhs)
+                walk(node.rhs)
+            elif isinstance(node, CmpExpr):
+                walk(node.lhs)
+                walk(node.rhs)
+            elif isinstance(node, SelectExpr):
+                walk(node.cond)
+                walk(node.if_true)
+                walk(node.if_false)
+
+        walk(expr)
+        return counts
+
+    def _invert_rec(self, expr: Expr, target: int) -> int | None:
+        target &= MACHINE_MASK
+        if isinstance(expr, Sym):
+            return target
+        if isinstance(expr, Const):
+            return target if expr.value == target else None
+        if not isinstance(expr, BinExpr):
+            return None
+        lhs, rhs, op = expr.lhs, expr.rhs, expr.op
+        lhs_symbolic = bool(symbols_of(lhs))
+        symbolic, concrete = (lhs, rhs) if lhs_symbolic else (rhs, lhs)
+        if symbols_of(concrete):
+            return None
+        if not isinstance(concrete, Const):
+            return None
+        c = concrete.value
+
+        if op is BinOpKind.ADD:
+            return self._invert_rec(symbolic, (target - c) & MACHINE_MASK)
+        if op is BinOpKind.XOR:
+            return self._invert_rec(symbolic, target ^ c)
+        if op is BinOpKind.SUB:
+            if lhs_symbolic:
+                return self._invert_rec(symbolic, (target + c) & MACHINE_MASK)
+            return self._invert_rec(symbolic, (c - target) & MACHINE_MASK)
+        if op is BinOpKind.MUL:
+            if c % 2 == 1:
+                inverse = pow(c, -1, 1 << 64)
+                return self._invert_rec(symbolic, (target * inverse) & MACHINE_MASK)
+            if c != 0 and target % c == 0:
+                return self._invert_rec(symbolic, target // c)
+            return None
+        if op is BinOpKind.SHL and not lhs_symbolic:
+            return None
+        if op is BinOpKind.SHL:
+            if c >= 64:
+                return self._invert_rec(symbolic, 0) if target == 0 else None
+            if target & ((1 << c) - 1):
+                return None
+            return self._invert_rec(symbolic, target >> c)
+        if op is BinOpKind.LSHR and lhs_symbolic:
+            if c >= 64:
+                return self._invert_rec(symbolic, 0) if target == 0 else None
+            return self._invert_rec(symbolic, (target << c) & MACHINE_MASK)
+        if op is BinOpKind.AND:
+            if target & ~c:
+                return None
+            return self._invert_rec(symbolic, target)
+        if op is BinOpKind.OR:
+            if (target & c) != c:
+                return None
+            return self._invert_rec(symbolic, target & ~c)
+        if op is BinOpKind.UREM and lhs_symbolic:
+            if c == 0 or target >= c:
+                return None
+            return self._invert_rec(symbolic, target)
+        if op is BinOpKind.UDIV and lhs_symbolic:
+            if c == 0:
+                return None
+            return self._invert_rec(symbolic, target * c)
+        return None
+
+    # -- backtracking search ----------------------------------------------------
+
+    def _search(
+        self,
+        constraints: list[Expr],
+        assignment: dict[str, int],
+        domains: dict[str, _Domain],
+        rng: random.Random,
+        extra_candidates: dict[str, list[int]],
+    ) -> bool:
+        unresolved = [simplify(substitute(c, assignment)) for c in constraints]
+        unresolved = [c for c in unresolved if not (isinstance(c, Const) and c.value)]
+        if any(isinstance(c, Const) and c.value == 0 for c in unresolved):
+            return False
+        unassigned = sorted(
+            {s.name for c in unresolved for s in symbols_of(c)} - set(assignment)
+        )
+        if not unassigned:
+            return all(evaluate(c, assignment) for c in unresolved) if unresolved else True
+
+        # Order symbols by how many constraints mention them (most first).
+        mention_count = {name: 0 for name in unassigned}
+        for constraint in unresolved:
+            for symbol in symbols_of(constraint):
+                if symbol.name in mention_count:
+                    mention_count[symbol.name] += 1
+        unassigned.sort(key=lambda name: -mention_count[name])
+
+        budget = [self.search_budget]
+        return self._backtrack(unassigned, 0, unresolved, assignment, domains, rng, budget, extra_candidates)
+
+    def _backtrack(
+        self,
+        order: list[str],
+        position: int,
+        constraints: list[Expr],
+        assignment: dict[str, int],
+        domains: dict[str, _Domain],
+        rng: random.Random,
+        budget: list[int],
+        extra_candidates: dict[str, list[int]],
+    ) -> bool:
+        if budget[0] <= 0:
+            return False
+        if position == len(order):
+            return all(evaluate(c, assignment) for c in self._concrete(constraints, assignment))
+        name = order[position]
+        domain = domains.get(name)
+        if domain is None:
+            # Symbol disappeared after substitution; skip it.
+            return self._backtrack(
+                order, position + 1, constraints, assignment, domains, rng, budget, extra_candidates
+            )
+        candidates = list(extra_candidates.get(name, []))
+        candidates += self._suggest_from_constraints(name, constraints, assignment)
+        candidates += domain.candidates(rng)
+        seen: set[int] = set()
+        for candidate in candidates:
+            candidate &= domain.symbol.mask
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if candidate in domain.exclusions or not (domain.lo <= candidate <= domain.hi):
+                continue
+            if (candidate & domain.known_mask) != (domain.known_value & domain.known_mask):
+                continue
+            budget[0] -= 1
+            if budget[0] <= 0:
+                return False
+            assignment[name] = candidate
+            if self._consistent(constraints, assignment) and self._backtrack(
+                order, position + 1, constraints, assignment, domains, rng, budget, extra_candidates
+            ):
+                return True
+            del assignment[name]
+        return False
+
+    def _concrete(self, constraints: list[Expr], assignment: dict[str, int]) -> list[Expr]:
+        out = []
+        for constraint in constraints:
+            reduced = substitute(constraint, assignment)
+            if not symbols_of(reduced):
+                out.append(reduced)
+        return out
+
+    def _consistent(self, constraints: list[Expr], assignment: dict[str, int]) -> bool:
+        """Check constraints that have become fully concrete."""
+        for constraint in constraints:
+            reduced = simplify(substitute(constraint, assignment))
+            if isinstance(reduced, Const) and reduced.value == 0:
+                return False
+        return True
+
+    def _suggest_from_constraints(
+        self, name: str, constraints: list[Expr], assignment: dict[str, int]
+    ) -> list[int]:
+        """Derive candidate values for ``name`` by inverting EQ constraints."""
+        suggestions: list[int] = []
+        for constraint in constraints:
+            if not isinstance(constraint, CmpExpr) or constraint.pred is not CmpKind.EQ:
+                continue
+            reduced = simplify(substitute(constraint, assignment))
+            if not isinstance(reduced, CmpExpr):
+                continue
+            lhs, rhs = reduced.lhs, reduced.rhs
+            if isinstance(lhs, Const) and not isinstance(rhs, Const):
+                lhs, rhs = rhs, lhs
+            if not isinstance(rhs, Const):
+                continue
+            names = {s.name for s in symbols_of(lhs)}
+            if names != {name}:
+                continue
+            inverted = self._invert(lhs, rhs.value)
+            if inverted is not None:
+                suggestions.append(inverted[1])
+        return suggestions

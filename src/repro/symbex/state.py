@@ -1,0 +1,227 @@
+"""Execution states for the symbolic engine.
+
+A state captures everything needed to continue one execution path: the call
+stack (with register values), the overlay of symbolic memory writes, the
+path constraints, the cache-model state, cycle/instruction counters, the
+per-packet metric history and the havoc records collected so far.  States
+are forked (deep-copied) at branches on symbolic conditions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.symbex.expr import Const, Expr
+from repro.symbex.havoc import HavocRecord
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a package-level import cycle
+    from repro.cache.model import CacheModel
+
+
+class StateStatus(enum.Enum):
+    """Lifecycle of an execution state."""
+
+    RUNNING = "running"
+    COMPLETED = "completed"  # processed every symbolic packet
+    INFEASIBLE = "infeasible"  # both branch directions contradicted the path
+    ERROR = "error"  # executed an illegal operation or exceeded limits
+
+
+@dataclass
+class Frame:
+    """One activation record on a state's call stack."""
+
+    function: str
+    block: str
+    index: int = 0
+    registers: dict[str, Expr] = field(default_factory=dict)
+    # Register (name) in the *caller's* frame that receives our return value.
+    return_target: str | None = None
+    # How many times each loop-head block has been entered in this frame
+    # (guards against runaway loops under optimistic feasibility checks).
+    loop_visits: dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "Frame":
+        return Frame(
+            function=self.function,
+            block=self.block,
+            index=self.index,
+            registers=dict(self.registers),
+            return_target=self.return_target,
+            loop_visits=dict(self.loop_visits),
+        )
+
+
+@dataclass
+class PacketMetrics:
+    """Estimated per-packet CPU-model metrics for one processed packet."""
+
+    packet_index: int
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l3_hits: int = 0
+    dram_accesses: int = 0
+    action: int | None = None
+
+
+class ExecutionState:
+    """One path through the NF across a sequence of symbolic packets."""
+
+    _ids = itertools.count()
+
+    def __init__(self, cache_model: "CacheModel", num_packets: int) -> None:
+        self.sid = next(ExecutionState._ids)
+        self.frames: list[Frame] = []
+        self.memory: dict[str, dict[int, Expr]] = {}
+        self.constraints: list[Expr] = []
+        self.cache_model = cache_model
+        self.num_packets = num_packets
+        self.packets_processed = 0
+        self.status = StateStatus.RUNNING
+        self.error_message = ""
+
+        # Cost model bookkeeping (the "current cost" of §3.1/§3.3).
+        self.current_cost = 0
+        self.priority = 0
+        self.preferred_loop_iteration = False
+
+        # Counters for the per-path CPU-model metrics output (§4).
+        self.instructions_retired = 0
+        self.loads = 0
+        self.stores = 0
+        self.level_counts: dict[str, int] = {"L1": 0, "L2": 0, "L3": 0, "DRAM": 0}
+        self.packet_metrics: list[PacketMetrics] = []
+        self._packet_start_snapshot = self._counters_snapshot()
+
+        # Havoc records and packet return actions.
+        self.havoc_records: list[HavocRecord] = []
+        self.packet_actions: list[Expr] = []
+
+        self._fresh_symbol_counter = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def fork(self) -> "ExecutionState":
+        """Create an independent copy of this state."""
+        child = ExecutionState.__new__(ExecutionState)
+        child.sid = next(ExecutionState._ids)
+        child.frames = [frame.copy() for frame in self.frames]
+        child.memory = {region: dict(cells) for region, cells in self.memory.items()}
+        child.constraints = list(self.constraints)
+        child.cache_model = self.cache_model.clone()
+        child.num_packets = self.num_packets
+        child.packets_processed = self.packets_processed
+        child.status = self.status
+        child.error_message = self.error_message
+        child.current_cost = self.current_cost
+        child.priority = self.priority
+        child.preferred_loop_iteration = False
+        child.instructions_retired = self.instructions_retired
+        child.loads = self.loads
+        child.stores = self.stores
+        child.level_counts = dict(self.level_counts)
+        child.packet_metrics = list(self.packet_metrics)
+        child._packet_start_snapshot = dict(self._packet_start_snapshot)
+        child.havoc_records = list(self.havoc_records)
+        child.packet_actions = list(self.packet_actions)
+        child._fresh_symbol_counter = self._fresh_symbol_counter
+        return child
+
+    # -- frames -----------------------------------------------------------------
+
+    @property
+    def top_frame(self) -> Frame:
+        return self.frames[-1]
+
+    def push_frame(self, frame: Frame) -> None:
+        self.frames.append(frame)
+
+    def pop_frame(self) -> Frame:
+        return self.frames.pop()
+
+    @property
+    def call_depth(self) -> int:
+        return len(self.frames)
+
+    # -- registers and memory -----------------------------------------------------
+
+    def read_register(self, name: str) -> Expr:
+        try:
+            return self.top_frame.registers[name]
+        except KeyError:
+            raise KeyError(
+                f"read of undefined register %{name} in {self.top_frame.function}"
+            ) from None
+
+    def write_register(self, name: str, value: Expr) -> None:
+        self.top_frame.registers[name] = value
+
+    def read_memory(self, region_name: str, index: int, default: int = 0) -> Expr:
+        overlay = self.memory.get(region_name)
+        if overlay is not None and index in overlay:
+            return overlay[index]
+        return Const(default)
+
+    def write_memory(self, region_name: str, index: int, value: Expr) -> None:
+        self.memory.setdefault(region_name, {})[index] = value
+
+    # -- constraints and symbols ----------------------------------------------------
+
+    def add_constraint(self, constraint: Expr) -> None:
+        if isinstance(constraint, Const):
+            return
+        self.constraints.append(constraint)
+
+    def fresh_symbol_name(self, prefix: str) -> str:
+        self._fresh_symbol_counter += 1
+        return f"{prefix}.{self.sid}.{self._fresh_symbol_counter}"
+
+    # -- per-packet metrics -----------------------------------------------------------
+
+    def _counters_snapshot(self) -> dict[str, int]:
+        return {
+            "cycles": self.current_cost,
+            "instructions": self.instructions_retired,
+            "loads": self.loads,
+            "stores": self.stores,
+            "L1": self.level_counts["L1"],
+            "L3": self.level_counts["L3"],
+            "DRAM": self.level_counts["DRAM"],
+        }
+
+    def begin_packet(self) -> None:
+        self._packet_start_snapshot = self._counters_snapshot()
+
+    def finish_packet(self, action: Expr) -> None:
+        snapshot = self._packet_start_snapshot
+        current = self._counters_snapshot()
+        action_value = action.value if isinstance(action, Const) else None
+        self.packet_metrics.append(
+            PacketMetrics(
+                packet_index=self.packets_processed,
+                cycles=current["cycles"] - snapshot["cycles"],
+                instructions=current["instructions"] - snapshot["instructions"],
+                loads=current["loads"] - snapshot["loads"],
+                stores=current["stores"] - snapshot["stores"],
+                l1_hits=current["L1"] - snapshot["L1"],
+                l3_hits=current["L3"] - snapshot["L3"],
+                dram_accesses=current["DRAM"] - snapshot["DRAM"],
+                action=action_value,
+            )
+        )
+        self.packet_actions.append(action)
+        self.packets_processed += 1
+
+    # -- debugging ---------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"<State {self.sid} {self.status.value} packets={self.packets_processed}/"
+            f"{self.num_packets} cost={self.current_cost} constraints={len(self.constraints)}>"
+        )

@@ -1,0 +1,31 @@
+"""The simulated measurement testbed (§5.1).
+
+Stands in for the paper's two-machine setup (DUT + MoonGen traffic
+generator over 10 GbE): a DUT that executes the compiled NF on the
+simulated CPU/memory hierarchy, a latency experiment that replays a pcap in
+a loop with one outstanding packet and reports end-to-end latency CDFs
+(including a NOP baseline), a max-throughput search (highest offered rate
+with <1 % loss), and the micro-architectural characterisation built on the
+per-packet performance counters.
+"""
+
+from repro.testbed.cdf import CDF
+from repro.testbed.dut import DeviceUnderTest, TestbedConfig
+from repro.testbed.measure import (
+    LatencyResult,
+    ThroughputResult,
+    characterize,
+    measure_latency,
+    measure_throughput,
+)
+
+__all__ = [
+    "CDF",
+    "DeviceUnderTest",
+    "LatencyResult",
+    "TestbedConfig",
+    "ThroughputResult",
+    "characterize",
+    "measure_latency",
+    "measure_throughput",
+]

@@ -1,0 +1,239 @@
+"""Tests for the cache substrate: set-associative caches, the simulated
+hierarchy, contention-set discovery and the symbex cache models."""
+
+import pytest
+
+from repro.cache.contention import ContentionSets, discover_contention_sets
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.cache.model import ContentionSetCacheModel, NoCacheModel
+from repro.cache.setassoc import SetAssociativeCache
+from repro.ir.module import MemoryRegion
+from repro.symbex.expr import Const, Sym, evaluate
+
+
+def tiny_hierarchy(**overrides) -> MemoryHierarchy:
+    config = HierarchyConfig(
+        l1_size=1024,
+        l1_ways=2,
+        l2_size=2048,
+        l2_ways=2,
+        l3_size=16 * 1024,
+        l3_ways=4,
+        l3_slices=2,
+        page_size=4096,
+        **overrides,
+    )
+    return MemoryHierarchy(config)
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_fill(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        cache = SetAssociativeCache(num_sets=1, associativity=2, line_size=64)
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)  # evicts line 0
+        assert cache.access(64) is True
+        assert cache.access(0) is False
+        assert cache.evictions >= 1
+
+    def test_same_line_different_bytes(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2, line_size=64)
+        cache.access(10)
+        assert cache.access(63) is True
+        assert cache.access(64) is False
+
+    def test_flush_and_occupancy(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        for i in range(5):
+            cache.access(i * 64)
+        assert cache.occupancy() == 5
+        cache.flush()
+        assert cache.occupancy() == 0 and cache.hits == 0
+
+    def test_clone_is_independent(self):
+        cache = SetAssociativeCache(num_sets=2, associativity=2)
+        cache.access(0)
+        clone = cache.clone()
+        clone.access(64)
+        assert clone.occupancy() == 2
+        assert cache.occupancy() == 1
+
+    @pytest.mark.parametrize("bad", [dict(num_sets=0, associativity=1), dict(num_sets=1, associativity=0)])
+    def test_rejects_bad_geometry(self, bad):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(**bad)
+
+
+class TestHierarchy:
+    def test_levels_progression(self):
+        hierarchy = tiny_hierarchy()
+        address = 1 << 20
+        assert hierarchy.access(address) == "DRAM"
+        assert hierarchy.access(address) == "L1"
+
+    def test_l1_capacity_spill_to_l2(self):
+        hierarchy = tiny_hierarchy()
+        # Touch far more lines than L1 can hold, then re-touch the first.
+        addresses = [i * 64 for i in range(64)]
+        for address in addresses:
+            hierarchy.access(address)
+        level = hierarchy.access(addresses[0])
+        assert level in ("L2", "L3", "DRAM")
+
+    def test_translation_preserves_page_offset(self):
+        hierarchy = tiny_hierarchy()
+        vaddr = 5 * 4096 + 123
+        assert hierarchy.virtual_to_physical(vaddr) % 4096 == 123
+
+    def test_translation_changes_across_process_runs(self):
+        hierarchy = tiny_hierarchy()
+        vaddr = 7 * 4096
+        first = hierarchy.virtual_to_physical(vaddr)
+        hierarchy.new_process_run(99)
+        assert hierarchy.virtual_to_physical(vaddr) != first
+
+    def test_access_cycles_match_levels(self):
+        hierarchy = tiny_hierarchy()
+        level, cycles = hierarchy.access_cycles(0)
+        assert level == "DRAM" and cycles == hierarchy.cycle_costs.dram
+        level, cycles = hierarchy.access_cycles(0)
+        assert level == "L1" and cycles == hierarchy.cycle_costs.l1_hit
+
+    def test_probe_time_detects_associativity_overflow(self):
+        hierarchy = tiny_hierarchy()
+        # Build a set of addresses that all share one contention set.
+        pool = [i * 64 for i in range(2048)]
+        by_key = {}
+        for address in pool:
+            by_key.setdefault(hierarchy.oracle_contention_key(address), []).append(address)
+        addresses = max(by_key.values(), key=len)
+        ways = hierarchy.l3_associativity
+        fits = hierarchy.probe_time(addresses[:ways], repeats=6)
+        overflows = hierarchy.probe_time(addresses[: ways + 1], repeats=6)
+        gap = hierarchy.cycle_costs.dram - hierarchy.cycle_costs.l3_hit
+        assert overflows - fits > gap * 3
+
+    def test_bit_layout_description(self):
+        text = tiny_hierarchy().config.describe_bit_layout()
+        assert "L3 slice" in text and "byte offset" in text
+
+    def test_rejects_non_power_of_two_geometry(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(line_size=48)
+
+
+class TestContentionDiscovery:
+    def test_oracle_groups_match_hierarchy(self):
+        hierarchy = tiny_hierarchy()
+        addresses = [i * 64 for i in range(512)]
+        sets = ContentionSets.from_oracle(hierarchy, addresses)
+        assert sets.set_count > 1
+        for group in sets.sets:
+            keys = {hierarchy.oracle_contention_key(a) for a in group}
+            assert len(keys) == 1
+
+    def test_probing_discovery_agrees_with_oracle(self):
+        hierarchy = tiny_hierarchy()
+        # Addresses sharing one (public) L3 set index, so the hidden slice
+        # hash is the only thing separating them into contention sets.
+        stride = hierarchy.config.l3_sets_per_slice * 64
+        addresses = [i * stride for i in range(48)]
+        discovered = discover_contention_sets(hierarchy, addresses, repeats=6, max_sets=2)
+        assert discovered.set_count >= 1
+        for group in discovered.sets:
+            keys = {hierarchy.oracle_contention_key(a) for a in group}
+            assert len(keys) == 1, f"probing mixed contention sets: {keys}"
+
+    def test_set_id_lookup(self):
+        hierarchy = tiny_hierarchy()
+        addresses = [i * 64 for i in range(256)]
+        sets = ContentionSets.from_oracle(hierarchy, addresses)
+        member = sets.sets[0][0]
+        assert sets.set_id_of(member) == 0
+        assert sets.set_id_of(10**12) is None
+
+
+class TestCacheModels:
+    def _region(self) -> MemoryRegion:
+        return MemoryRegion(name="tbl", length=4096, element_size=64, base_address=1 << 30)
+
+    def _contention_model(self) -> ContentionSetCacheModel:
+        hierarchy = tiny_hierarchy()
+        region = self._region()
+        addresses = [region.base_address + i * 64 for i in range(2048)]
+        return ContentionSetCacheModel(ContentionSets.from_oracle(hierarchy, addresses))
+
+    def test_no_cache_model_concrete_access(self):
+        model = NoCacheModel()
+        decision = model.on_access(self._region(), Const(5), False, lambda c: True, lambda e: 0)
+        assert decision.index == 5 and decision.level == "L1" and decision.constraint is None
+
+    def test_contention_model_concrete_miss_then_hit(self):
+        model = self._contention_model()
+        region = self._region()
+        first = model.on_access(region, Const(7), False, lambda c: True, lambda e: 7)
+        again = model.on_access(region, Const(7), False, lambda c: True, lambda e: 7)
+        assert first.level == "DRAM"
+        assert again.level in ("L1", "L3")
+
+    def test_contention_model_targets_one_set(self):
+        model = self._contention_model()
+        region = self._region()
+        symbol = Sym("idx", 32)
+        # Seed with one concrete access, then concretize symbolic pointers.
+        model.on_access(region, Const(0), False, lambda c: True, lambda e: 0)
+        chosen = []
+        for _ in range(6):
+            decision = model.on_access(region, symbol, False, lambda c: True, lambda e: 1)
+            assert decision.constraint is not None
+            chosen.append(decision.index)
+        keys = {
+            model.contention_sets.set_id_of(region.address_of(index))
+            for index in chosen
+        }
+        # All concretized pointers should land in the seeded contention set.
+        assert len(keys) == 1
+
+    def test_contention_model_eviction_after_associativity(self):
+        model = self._contention_model()
+        region = self._region()
+        symbol = Sym("idx", 32)
+        model.on_access(region, Const(0), False, lambda c: True, lambda e: 0)
+        evictions = 0
+        for _ in range(model.associativity + 4):
+            decision = model.on_access(region, symbol, False, lambda c: True, lambda e: 1)
+            evictions += int(decision.caused_eviction)
+        assert evictions >= 1
+
+    def test_fallback_prefers_touched_elements(self):
+        # A region too small for contention: symbolic pointers should land on
+        # previously-touched elements (the collision-steering behaviour).
+        hierarchy = tiny_hierarchy()
+        small = MemoryRegion(name="buckets", length=64, element_size=8, base_address=1 << 30)
+        pool = [small.base_address + i * 64 for i in range(8)]
+        model = ContentionSetCacheModel(ContentionSets.from_oracle(hierarchy, pool))
+        model.on_access(small, Const(13), False, lambda c: True, lambda e: 13)
+        decision = model.on_access(small, Sym("h", 16), False, lambda c: True, lambda e: 1)
+        assert decision.index == 13
+
+    def test_clone_isolates_state(self):
+        model = self._contention_model()
+        region = self._region()
+        model.on_access(region, Const(3), False, lambda c: True, lambda e: 3)
+        clone = model.clone()
+        clone.on_access(region, Const(9), False, lambda c: True, lambda e: 9)
+        assert clone.stats.accesses == model.stats.accesses + 1
+
+    def test_constraint_is_consistent_with_index(self):
+        model = self._contention_model()
+        region = self._region()
+        symbol = Sym("idx", 32)
+        model.on_access(region, Const(0), False, lambda c: True, lambda e: 0)
+        decision = model.on_access(region, symbol, False, lambda c: True, lambda e: 1)
+        assert evaluate(decision.constraint, {"idx": decision.index}) == 1

@@ -1,0 +1,146 @@
+"""End-to-end tests of the CASTAN pipeline: analysis, workload synthesis,
+havoc reconciliation, pcap output and adversarial effect on the testbed."""
+
+import pytest
+
+from repro.core.castan import Castan
+from repro.core.config import CastanConfig
+from repro.core.workload import make_packet_symbols, packets_from_model, symbol_defaults
+from repro.hashing.functions import flow_hash16, lb_flow_key
+from repro.net.pcap import read_pcap
+from repro.nf.common import HASH_TABLE_BUCKETS, VIP_ADDRESS
+from repro.nf.registry import get_nf
+from repro.symbex.solver import Model
+from repro.testbed.measure import measure_latency
+from repro.workloads.generators import make_castan_workload, make_unirand_castan_workload
+
+
+def quick_config(**overrides) -> CastanConfig:
+    defaults = dict(max_states=150, deadline_seconds=8.0, num_packets=6)
+    defaults.update(overrides)
+    return CastanConfig(**defaults)
+
+
+class TestWorkloadSymbols:
+    def test_packet_symbol_naming_and_widths(self):
+        sets = make_packet_symbols(3)
+        assert len(sets) == 3
+        assert sets[1].symbols["dst_ip"].name == "pkt1.dst_ip"
+        assert sets[1].symbols["protocol"].bits == 8
+
+    def test_defaults_produce_distinct_flows(self):
+        sets = make_packet_symbols(4)
+        defaults = symbol_defaults(sets, {"src_ip": 100, "src_port": 10, "protocol": 17})
+        ips = {defaults[s.symbol_name_field] for s in [] } if False else None
+        src_ips = [defaults[f"pkt{i}.src_ip"] for i in range(4)]
+        assert len(set(src_ips)) == 4
+
+    def test_packets_from_model_uses_model_then_defaults(self):
+        sets = make_packet_symbols(2)
+        model = Model(values={"pkt0.dst_ip": 0x01020304, "pkt0.protocol": 6})
+        packets = packets_from_model(sets, model, {"dst_ip": 0x0A000001, "protocol": 17})
+        assert packets[0].dst_ip == 0x01020304 and packets[0].protocol == 6
+        assert packets[1].dst_ip == 0x0A000001 and packets[1].protocol == 17
+
+
+class TestPipeline:
+    def test_lpm_direct_contention_workload(self):
+        nf = get_nf("lpm-direct")
+        result = Castan(quick_config(num_packets=24)).analyze(nf)
+        assert result.packet_count == 24
+        assert result.unique_flows > 1
+        assert result.contention_sets_used > 0
+        # The synthesized destinations must map to very few L3 contention
+        # sets — that is the whole point of the workload.
+        from repro.cache.contention import ContentionSets
+        from repro.cache.hierarchy import MemoryHierarchy
+
+        hierarchy = MemoryHierarchy(Castan(quick_config()).config.hierarchy)
+        region = nf.module.get_region("dl_table")
+        shift = 32 - 18
+        keys = {
+            hierarchy.oracle_contention_key(region.address_of(p.dst_ip >> shift))
+            for p in result.packets
+        }
+        assert len(keys) <= 3
+
+    def test_lpm_patricia_beats_typical_depth(self):
+        nf = get_nf("lpm-patricia")
+        result = Castan(quick_config(num_packets=4, max_states=400)).analyze(nf)
+        assert result.metrics.max_estimated_cycles_per_packet > 0
+        # At least one synthesized packet matches deep (long-prefix) routes.
+        deep = [p for p in result.packets if p.dst_ip >> 24 == 10]
+        assert deep
+
+    def test_lb_hash_table_collisions_after_reconciliation(self):
+        nf = get_nf("lb-hash-table")
+        result = Castan(quick_config(num_packets=5, max_states=250)).analyze(nf)
+        assert result.havoc_outcome is not None
+        assert result.packet_count == 5
+        # Reconciled havocs mean the concrete packets really collide in the
+        # bucket index; require at least a couple of packets in one bucket.
+        buckets = [
+            flow_hash16(lb_flow_key(p.src_ip, p.src_port, p.dst_port)) & (HASH_TABLE_BUCKETS - 1)
+            for p in result.packets
+            if p.dst_ip == VIP_ADDRESS
+        ]
+        if result.havoc_outcome.reconciled:
+            assert len(set(buckets)) < len(buckets)
+
+    def test_lb_unbalanced_tree_costs_grow_per_packet(self):
+        nf = get_nf("lb-unbalanced-tree")
+        result = Castan(quick_config(num_packets=6, max_states=300)).analyze(nf)
+        instructions = result.metrics.instructions_per_packet
+        assert instructions[-1] > instructions[0]
+
+    def test_result_pcap_roundtrip(self, tmp_path):
+        nf = get_nf("lpm-direct")
+        result = Castan(quick_config(num_packets=4)).analyze(nf)
+        path = tmp_path / "castan.pcap"
+        assert result.write_pcap(path) == result.packet_count
+        restored = read_pcap(path)
+        assert [p.dst_ip for p in restored] == [p.dst_ip for p in result.packets]
+
+    def test_metrics_report_renders(self):
+        nf = get_nf("lpm-direct")
+        result = Castan(quick_config(num_packets=3)).analyze(nf)
+        report = result.metrics.to_report()
+        assert "est.cycles" in report and "havocs reconciled" in report
+        assert result.summary().startswith("CASTAN[lpm-direct]")
+
+    def test_searcher_and_cache_model_ablation_options(self):
+        nf = get_nf("lpm-patricia")
+        castan = Castan(quick_config(num_packets=3, searcher="random", cache_model="none"))
+        result = castan.analyze(nf)
+        assert result.packet_count >= 1
+        assert result.contention_sets_used == 0
+
+    def test_probing_contention_source(self):
+        nf = get_nf("lpm-direct")
+        config = quick_config(num_packets=4)
+        config.contention_source = "probing"
+        result = Castan(config).analyze(nf)
+        assert result.contention_sets_used >= 1
+
+    def test_red_black_tree_resists_skew(self):
+        # CASTAN should NOT find a strongly growing path in the RB tree: the
+        # per-packet instruction counts stay within a small factor.
+        nf = get_nf("lb-red-black-tree")
+        result = Castan(quick_config(num_packets=6, max_states=250)).analyze(nf)
+        instructions = [i for i in result.metrics.instructions_per_packet if i > 0]
+        assert instructions
+        assert max(instructions) <= 4 * min(instructions)
+
+
+class TestAdversarialEffect:
+    def test_castan_workload_hurts_lpm_direct_more_than_unirand_castan(self):
+        nf = get_nf("lpm-direct")
+        result = Castan(quick_config(num_packets=24)).analyze(nf)
+        castan_workload = make_castan_workload(result.packets)
+        fair_comparison = make_unirand_castan_workload(nf, castan_workload.flow_count)
+        castan_measure = measure_latency(nf, castan_workload, replay_packets=600)
+        fair_measure = measure_latency(nf, fair_comparison, replay_packets=600)
+        assert (
+            castan_measure.counter_summary.median_l3_misses
+            >= fair_measure.counter_summary.median_l3_misses
+        )

@@ -1,0 +1,117 @@
+"""Tests for the flow hash, key packing and rainbow-table inversion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.compiler import compile_nf
+from repro.hashing.functions import (
+    FLOW_HASH_BITS,
+    FLOW_HASH_DIALECT_SOURCE,
+    flow_hash16,
+    lb_flow_key,
+    lb_key_fields,
+    nat_forward_key,
+    nat_key_fields,
+    nat_reverse_key,
+)
+from repro.hashing.rainbow import (
+    BruteForceInverter,
+    RainbowTable,
+    build_flow_rainbow_table,
+    exhaustive_preimages,
+    generic_key_sampler,
+    udp_flow_key_sampler,
+)
+from repro.ir.module import Module
+from repro.perf.interpreter import ConcreteInterpreter
+
+
+class TestFlowHash:
+    def test_output_width(self):
+        for key in (0, 1, 2**64 - 1, 0xDEADBEEF):
+            assert 0 <= flow_hash16(key) < (1 << FLOW_HASH_BITS)
+
+    def test_deterministic(self):
+        assert flow_hash16(12345) == flow_hash16(12345)
+
+    def test_spreads_over_buckets(self):
+        buckets = {flow_hash16(k) % 256 for k in range(2000)}
+        assert len(buckets) > 200
+
+    def test_dialect_source_matches_python(self):
+        module = Module("hash")
+        compile_nf(module, FLOW_HASH_DIALECT_SOURCE, entry="flow_hash16")
+        interpreter = ConcreteInterpreter(module, "flow_hash16")
+        rng = random.Random(7)
+        for _ in range(200):
+            key = rng.getrandbits(64)
+            assert interpreter.call_function("flow_hash16", [key]) == flow_hash16(key)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=50)
+    def test_key_packing_roundtrip(self, ip, sport, dport):
+        assert lb_key_fields(lb_flow_key(ip, sport, dport)) == (ip, sport, dport)
+        assert nat_key_fields(nat_forward_key(ip, sport, dport)) == (ip, sport, dport)
+        assert nat_key_fields(nat_reverse_key(ip, sport, dport)) == (ip, sport, dport)
+
+    def test_nat_keys_share_external_endpoint(self):
+        forward = nat_forward_key(0x0A000001, 1234, 80)
+        reverse = nat_reverse_key(0x08080808, 80, 20000)
+        # The reverse key embeds the destination endpoint of the forward flow.
+        assert nat_key_fields(reverse)[1] == nat_key_fields(forward)[2]
+
+
+class TestRainbowTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return build_flow_rainbow_table(tailored=True, chain_length=24, num_chains=1500, seed=5)
+
+    def test_inversion_produces_real_preimages(self, table):
+        rng = random.Random(3)
+        successes = 0
+        for _ in range(40):
+            key = udp_flow_key_sampler(rng.getrandbits(64))
+            target = flow_hash16(key)
+            for candidate in table.invert(target, limit=4):
+                assert flow_hash16(candidate) == target
+                successes += 1
+                break
+        assert successes > 10  # coverage is probabilistic but must be substantial
+
+    def test_tailored_keys_look_like_udp_flows(self, table):
+        key = table.invert(flow_hash16(udp_flow_key_sampler(1)), limit=1)
+        if key:
+            src_ip, src_port, dst_port = lb_key_fields(key[0])
+            assert (src_ip >> 24) == 0x0A
+            assert 1024 <= src_port < 65536
+            assert dst_port in (53, 80, 123, 443, 8080, 8443)
+
+    def test_coverage_estimate_nontrivial(self, table):
+        assert table.coverage_estimate(samples=60, seed=2) > 0.2
+
+    def test_stats_recorded(self, table):
+        before = table.stats.lookups
+        table.invert(123, limit=1)
+        assert table.stats.lookups == before + 1
+        assert table.stats.chains == 1500
+
+    def test_rejects_degenerate_chain_length(self):
+        with pytest.raises(ValueError):
+            RainbowTable(flow_hash16, generic_key_sampler, chain_length=1)
+
+    def test_brute_force_inverter(self):
+        inverter = BruteForceInverter(flow_hash16, udp_flow_key_sampler)
+        target = flow_hash16(udp_flow_key_sampler(42))
+        # With a 16-bit hash and a 250k-key budget the expected number of
+        # preimages is ~4; the seeded RNG makes the outcome deterministic.
+        found = inverter.invert(target, limit=1, budget=250_000)
+        assert found and all(flow_hash16(k) == target for k in found)
+
+    def test_exhaustive_preimages_small_space(self):
+        keys = list(range(5000))
+        table = exhaustive_preimages(flow_hash16, keys)
+        for hash_value, preimages in list(table.items())[:20]:
+            assert all(flow_hash16(k) == hash_value for k in preimages)

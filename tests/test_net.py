@@ -1,0 +1,176 @@
+"""Tests for the packet substrate: headers, checksums, flows, pcap I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.flows import Flow, FlowKey, unique_flows
+from repro.net.packet import (
+    IPProtocol,
+    Packet,
+    PacketField,
+    PacketParseError,
+    make_tcp_packet,
+    make_udp_packet,
+    parse_packet,
+)
+from repro.net.pcap import (
+    PcapFormatError,
+    PcapReader,
+    PcapWriter,
+    packets_to_pcap_bytes,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example data.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_buffer(self):
+        assert internet_checksum(b"\x00" * 10) == 0xFFFF
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_checksum_in_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+    @given(st.binary(min_size=2, max_size=64).filter(lambda d: len(d) % 2 == 0))
+    def test_verify_with_embedded_checksum(self, data):
+        # Appending the checksum only keeps 16-bit words aligned for
+        # even-length payloads (as in real IPv4/TCP/UDP headers).
+        checksum = internet_checksum(data)
+        assert verify_checksum(data + checksum.to_bytes(2, "big"))
+
+
+class TestPacket:
+    def test_field_masking(self):
+        packet = Packet(src_ip=1 << 40, src_port=1 << 20, protocol=300)
+        assert packet.src_ip < (1 << 32)
+        assert packet.src_port < (1 << 16)
+        assert packet.protocol < (1 << 8)
+
+    @pytest.mark.parametrize("field", list(PacketField))
+    def test_get_and_with_field(self, field):
+        packet = Packet()
+        changed = packet.with_field(field, 5)
+        assert changed.get_field(field) == 5
+        # Other fields are untouched.
+        for other in PacketField:
+            if other is not field:
+                assert changed.get_field(other) == packet.get_field(other)
+
+    def test_flow_tuple(self):
+        packet = make_udp_packet(1, 2, 3, 4)
+        assert packet.flow_tuple == (1, 2, 3, 4, int(IPProtocol.UDP))
+
+    @pytest.mark.parametrize(
+        "maker,protocol",
+        [(make_udp_packet, IPProtocol.UDP), (make_tcp_packet, IPProtocol.TCP)],
+    )
+    def test_serialise_parse_roundtrip(self, maker, protocol):
+        packet = maker(0x0A000001, 0xC0A80001, 1234, 80, payload=b"hello")
+        parsed = parse_packet(packet.to_bytes())
+        assert parsed.src_ip == packet.src_ip
+        assert parsed.dst_ip == packet.dst_ip
+        assert parsed.src_port == packet.src_port
+        assert parsed.dst_port == packet.dst_port
+        assert parsed.protocol == int(protocol)
+        assert parsed.payload == b"hello"
+
+    @given(
+        src=st.integers(0, 2**32 - 1),
+        dst=st.integers(0, 2**32 - 1),
+        sport=st.integers(0, 2**16 - 1),
+        dport=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, src, dst, sport, dport):
+        packet = make_udp_packet(src, dst, sport, dport)
+        parsed = parse_packet(packet.to_bytes())
+        assert parsed.flow_tuple == packet.flow_tuple
+
+    def test_parse_rejects_short_frames(self):
+        with pytest.raises(PacketParseError):
+            parse_packet(b"\x00" * 10)
+
+    def test_parse_rejects_non_ipv4(self):
+        frame = bytearray(make_udp_packet(1, 2, 3, 4).to_bytes())
+        frame[12:14] = b"\x86\xdd"  # IPv6 ethertype
+        with pytest.raises(PacketParseError):
+            parse_packet(bytes(frame))
+
+    def test_wire_length_includes_headers(self):
+        assert make_udp_packet(1, 2, 3, 4).wire_length == 14 + 20 + 8
+
+
+class TestFlows:
+    def test_flow_key_reversed(self):
+        key = FlowKey(1, 2, 3, 4)
+        assert key.reversed() == FlowKey(2, 1, 4, 3)
+        assert key.reversed().reversed() == key
+
+    def test_flow_key_of_packet_roundtrip(self):
+        key = FlowKey(10, 20, 30, 40)
+        assert FlowKey.of_packet(key.to_packet()) == key
+
+    def test_flow_expansion(self):
+        flow = Flow(key=FlowKey(1, 2, 3, 4), packet_count=5)
+        packets = flow.packets()
+        assert len(packets) == 5
+        assert unique_flows(packets) == {flow.key}
+
+    def test_unique_flows_counts_distinct(self):
+        packets = [FlowKey(1, 2, 3, p).to_packet() for p in range(10)] * 3
+        assert len(unique_flows(packets)) == 10
+
+
+class TestPcap:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "workload.pcap"
+        packets = [make_udp_packet(i, i + 1, 1000 + i, 80) for i in range(20)]
+        assert write_pcap(path, packets) == 20
+        restored = read_pcap(path)
+        assert [p.flow_tuple for p in restored] == [p.flow_tuple for p in packets]
+
+    def test_in_memory_roundtrip(self):
+        packets = [make_tcp_packet(1, 2, 3, 4), make_udp_packet(5, 6, 7, 8)]
+        blob = packets_to_pcap_bytes(packets)
+        reader = PcapReader(io.BytesIO(blob))
+        restored = [record.to_packet() for record in reader]
+        assert len(restored) == 2
+        assert restored[0].protocol == int(IPProtocol.TCP)
+
+    def test_reader_rejects_bad_magic(self):
+        with pytest.raises(PcapFormatError):
+            PcapReader(io.BytesIO(b"\x00" * 32))
+
+    def test_reader_rejects_truncated_header(self):
+        with pytest.raises(PcapFormatError):
+            PcapReader(io.BytesIO(b"\x01\x02"))
+
+    def test_writer_timestamps_monotonic(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for i in range(5):
+            writer.write_packet(make_udp_packet(i, i, i, i))
+        reader = PcapReader(io.BytesIO(buffer.getvalue()))
+        timestamps = [record.timestamp for record in reader]
+        assert timestamps == sorted(timestamps)
+
+    def test_read_skips_unparseable_frames_by_default(self, tmp_path):
+        path = tmp_path / "mixed.pcap"
+        with PcapWriter(path) as writer:
+            writer.write_packet(make_udp_packet(1, 2, 3, 4))
+            writer.write_frame(b"\xff" * 20)  # not an IPv4 frame
+        assert len(read_pcap(path)) == 1
+        with pytest.raises(PacketParseError):
+            read_pcap(path, strict=True)
