@@ -1,0 +1,215 @@
+"""Symbolic-execution hot-loop performance benchmark.
+
+Measures, for full ``Castan`` runs on the LPM-patricia pipeline and the
+hash-based NFs: states explored per second, solver queries per second, the
+number of *full-list* propagation passes (a ``Solver.check`` /
+``Solver.quick_feasible`` call re-simplifies and re-propagates the whole
+path constraint list from scratch), and wall time.  When the incremental
+subsystem (``repro.symbex.incremental``) is present its query counters are
+reported alongside, so the monolithic-vs-incremental split is visible.
+
+Run standalone to (re)generate the ``BENCH_symbex.json`` trajectory file::
+
+    PYTHONPATH=src python benchmarks/bench_symbex_perf.py --out BENCH_symbex.json
+
+or under pytest (smoke-sized, asserts the pipeline still produces output)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_symbex_perf.py -q
+
+The exploration budget is taken from ``REPRO_EVAL_SCALE`` (smoke / quick /
+full) but the wall-clock deadline is disabled so runs are deterministic and
+comparable across machines and revisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.castan import Castan, CastanResult
+from repro.core.config import CastanConfig
+from repro.nf.registry import get_nf
+from repro.symbex.solver import Solver
+
+#: The NFs whose symbex hot loop this benchmark times: the patricia-trie LPM
+#: (deep branchy lookups) plus the four hash-based NFs (havoc-heavy paths).
+BENCH_NFS = (
+    "lpm-patricia",
+    "nat-hash-table",
+    "lb-hash-table",
+    "nat-hash-ring",
+    "lb-hash-ring",
+)
+
+_SCALE_STATES = {"smoke": 60, "quick": 250, "full": 2500}
+
+
+def _max_states() -> int:
+    scale = os.environ.get("REPRO_EVAL_SCALE", "quick").lower()
+    return _SCALE_STATES.get(scale, _SCALE_STATES["quick"])
+
+
+class SolverProbe:
+    """Counts full-list propagation passes made through the slow-path Solver.
+
+    Every ``Solver.check`` and ``Solver.quick_feasible`` call simplifies and
+    propagates its entire constraint list from scratch, so one call is one
+    full-list pass.  ``constraints_seen`` additionally sums the list lengths,
+    which approximates total propagation work.
+    """
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.quick_feasible = 0
+        self.constraints_seen = 0
+        self._originals: dict[str, object] = {}
+
+    @property
+    def full_passes(self) -> int:
+        return self.checks + self.quick_feasible
+
+    def install(self) -> None:
+        self._originals = {
+            "check": Solver.check,
+            "quick_feasible": Solver.quick_feasible,
+        }
+        probe = self
+
+        def counting_check(solver, constraints, *args, **kwargs):
+            probe.checks += 1
+            probe.constraints_seen += len(constraints)
+            return probe._originals["check"](solver, constraints, *args, **kwargs)
+
+        def counting_quick_feasible(solver, constraints, *args, **kwargs):
+            probe.quick_feasible += 1
+            probe.constraints_seen += len(constraints)
+            return probe._originals["quick_feasible"](solver, constraints, *args, **kwargs)
+
+        Solver.check = counting_check
+        Solver.quick_feasible = counting_quick_feasible
+
+    def uninstall(self) -> None:
+        for name, original in self._originals.items():
+            setattr(Solver, name, original)
+        self._originals = {}
+
+
+def _incremental_stats() -> dict[str, int] | None:
+    """Global SolverContext counters, when the incremental subsystem exists."""
+    try:
+        from repro.symbex.incremental import CONTEXT_STATS
+    except ImportError:
+        return None
+    return CONTEXT_STATS.as_dict()
+
+
+def _reset_incremental_stats() -> None:
+    try:
+        from repro.symbex.incremental import CONTEXT_STATS
+    except ImportError:
+        return
+    CONTEXT_STATS.reset()
+
+
+def bench_nf(name: str, max_states: int) -> dict[str, object]:
+    """Run one deterministic Castan analysis and collect perf counters."""
+    config = CastanConfig(max_states=max_states, deadline_seconds=None)
+    probe = SolverProbe()
+    _reset_incremental_stats()
+    probe.install()
+    try:
+        start = time.perf_counter()
+        result: CastanResult = Castan(config).analyze(get_nf(name))
+        wall = time.perf_counter() - start
+    finally:
+        probe.uninstall()
+
+    incremental = _incremental_stats()
+    queries = probe.full_passes + (incremental or {}).get("queries", 0)
+    record: dict[str, object] = {
+        "nf": name,
+        "wall_seconds": round(wall, 4),
+        "states_explored": result.states_explored,
+        "states_per_second": round(result.states_explored / wall, 2) if wall else 0.0,
+        "solver_queries": queries,
+        "solver_queries_per_second": round(queries / wall, 2) if wall else 0.0,
+        "full_list_propagation_passes": probe.full_passes,
+        "full_list_constraints_seen": probe.constraints_seen,
+        "forks": result.forks,
+        "completed_paths": result.completed_paths,
+        # Output identity fields: later revisions must keep these unchanged.
+        "best_state_cost": result.best_state_cost,
+        "packet_flows": [list(p.flow_tuple) for p in result.packets],
+        "solver_status": result.solver_status,
+    }
+    if incremental is not None:
+        record["incremental"] = incremental
+    return record
+
+
+def run_benchmark(nfs: tuple[str, ...] = BENCH_NFS, max_states: int | None = None) -> dict:
+    max_states = max_states if max_states is not None else _max_states()
+    records = []
+    for name in nfs:
+        record = bench_nf(name, max_states)
+        records.append(record)
+        print(
+            f"{name:>18}: {record['wall_seconds']:8.2f}s  "
+            f"{record['states_per_second']:8.1f} states/s  "
+            f"{record['solver_queries_per_second']:9.1f} queries/s  "
+            f"{record['full_list_propagation_passes']:6d} full passes  "
+            f"cost={record['best_state_cost']}"
+        )
+    totals = {
+        "wall_seconds": round(sum(r["wall_seconds"] for r in records), 4),
+        "states_explored": sum(r["states_explored"] for r in records),
+        "solver_queries": sum(r["solver_queries"] for r in records),
+        "full_list_propagation_passes": sum(r["full_list_propagation_passes"] for r in records),
+    }
+    return {
+        "benchmark": "bench_symbex_perf",
+        "scale": os.environ.get("REPRO_EVAL_SCALE", "quick").lower(),
+        "max_states": max_states,
+        "nfs": records,
+        "totals": totals,
+    }
+
+
+# -- pytest entry point (smoke-sized sanity run) -------------------------------
+
+
+def test_symbex_perf_smoke():
+    """The benchmark pipeline runs end to end and produces sane counters."""
+    report = run_benchmark(nfs=("lpm-patricia",), max_states=40)
+    record = report["nfs"][0]
+    assert record["states_explored"] > 0
+    assert record["solver_queries"] > 0
+    assert record["best_state_cost"] > 0
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nfs", nargs="*", default=list(BENCH_NFS), help="NF names to run")
+    parser.add_argument("--max-states", type=int, default=None, help="override exploration budget")
+    parser.add_argument("--out", default=None, help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(tuple(args.nfs), args.max_states)
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,13 +18,17 @@ Two implementations are provided:
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cache.contention import ContentionSets
 from repro.ir.module import MemoryRegion
 from repro.symbex.expr import Const, Expr, expr_eq
+
+#: How many recently-touched element indices each region remembers (used to
+#: steer symbolic pointers onto already-populated state).
+TOUCHED_ELEMENT_WINDOW = 512
 
 # Callbacks supplied by the engine:
 #   feasible(constraint) -> bool         (quick path-constraint compatibility)
@@ -150,10 +154,10 @@ class ContentionSetCacheModel(CacheModel):
         # same line in quick succession are not charged full L3 latency).
         self._touched_lines: set[int] = set()
         self._recent_lines: OrderedDict[int, bool] = OrderedDict()
-        # region name -> element indices accessed so far (insertion order),
-        # used to steer pointers onto already-populated state when no cache
-        # contention is achievable.
-        self._touched_elements: dict[str, list[int]] = {}
+        # region name -> element indices accessed so far (insertion order,
+        # bounded window), used to steer pointers onto already-populated
+        # state when no cache contention is achievable.
+        self._touched_elements: dict[str, deque[int]] = {}
         self._stats = CacheModelStats()
 
     # -- lifecycle -----------------------------------------------------------
@@ -165,7 +169,9 @@ class ContentionSetCacheModel(CacheModel):
         other._resident = {k: OrderedDict(v) for k, v in self._resident.items()}
         other._touched_lines = set(self._touched_lines)
         other._recent_lines = OrderedDict(self._recent_lines)
-        other._touched_elements = {k: list(v) for k, v in self._touched_elements.items()}
+        other._touched_elements = {
+            k: deque(v, maxlen=TOUCHED_ELEMENT_WINDOW) for k, v in self._touched_elements.items()
+        }
         other._stats = CacheModelStats(**vars(self._stats))
         return other
 
@@ -193,11 +199,11 @@ class ContentionSetCacheModel(CacheModel):
             if targeted:
                 self._stats.contention_targeted += 1
         address = region.address_of(index)
-        touched = self._touched_elements.setdefault(region.name, [])
+        touched = self._touched_elements.setdefault(
+            region.name, deque(maxlen=TOUCHED_ELEMENT_WINDOW)
+        )
         if not touched or touched[-1] != index:
-            touched.append(index)
-            if len(touched) > 512:
-                del touched[0]
+            touched.append(index)  # the deque's maxlen trims the oldest entry
         level, evicted = self._charge(address)
         if level in ("L1", "L3"):
             self._stats.hits += 1

@@ -47,6 +47,7 @@ from repro.symbex.expr import (
     symbols_of,
 )
 from repro.symbex.havoc import HavocRecord
+from repro.symbex.incremental import SolverContext
 from repro.symbex.searcher import Searcher
 from repro.symbex.solver import Solver
 from repro.symbex.state import ExecutionState, Frame, StateStatus
@@ -116,7 +117,7 @@ class SymbolicEngine:
         self.max_loop_iterations = max_loop_iterations
 
         self._entry_function = module.get_function(entry)
-        if len(self._entry_function.params) != len(packet_args[0]) if packet_args else False:
+        if packet_args and len(self._entry_function.params) != len(packet_args[0]):
             raise ValueError("packet argument count does not match entry parameters")
         # Pre-index blocks for O(1) lookup during interpretation.
         self._blocks: dict[str, dict[str, BasicBlock]] = {
@@ -128,7 +129,11 @@ class SymbolicEngine:
     # -- state construction ------------------------------------------------------
 
     def make_initial_state(self) -> ExecutionState:
-        state = ExecutionState(cache_model=self.cache_model.clone(), num_packets=len(self.packet_args))
+        state = ExecutionState(
+            cache_model=self.cache_model.clone(),
+            num_packets=len(self.packet_args),
+            solver_context=SolverContext(self.solver),
+        )
         self._start_packet(state, packet_index=0)
         return state
 
@@ -235,7 +240,7 @@ class SymbolicEngine:
     # -- instruction dispatch ----------------------------------------------------------
 
     def _current_instruction(self, state: ExecutionState) -> Instruction | None:
-        frame = state.top_frame
+        frame = state.frames[-1]  # read-only: avoid triggering the CoW copy
         block = self._blocks[frame.function].get(frame.block)
         if block is None or frame.index >= len(block.instructions):
             return None
@@ -317,10 +322,16 @@ class SymbolicEngine:
             )
             return
 
+        context = state.solver_context
+
         def feasible(constraint: Expr) -> bool:
+            if context is not None:
+                return context.feasible_with(constraint)
             return self.solver.quick_feasible(state.constraints + [constraint])
 
         def solve_value(expr: Expr) -> int | None:
+            if context is not None:
+                return context.solve_value(expr, defaults=self.defaults)
             result = self.solver.check(state.constraints, defaults=self.defaults)
             if not result.is_sat:
                 return None
@@ -417,8 +428,13 @@ class SymbolicEngine:
 
         true_constraint = expr_ne(cond, Const(0))
         false_constraint = expr_not(true_constraint)
-        feasible_true = self.solver.quick_feasible(state.constraints + [true_constraint])
-        feasible_false = self.solver.quick_feasible(state.constraints + [false_constraint])
+        context = state.solver_context
+        if context is not None:
+            feasible_true = context.feasible_with(true_constraint)
+            feasible_false = context.feasible_with(false_constraint)
+        else:
+            feasible_true = self.solver.quick_feasible(state.constraints + [true_constraint])
+            feasible_false = self.solver.quick_feasible(state.constraints + [false_constraint])
 
         is_loop_head = frame.block.startswith(_LOOP_HEAD_PREFIXES)
         if is_loop_head:
@@ -450,6 +466,9 @@ class SymbolicEngine:
         child_frame.index = 0
 
         state.add_constraint(true_constraint)
+        # Re-fetch after fork(): frames went copy-on-write, so the frame
+        # reference captured above may now be shared with the child.
+        frame = state.top_frame
         frame.block = instruction.if_true
         frame.index = 0
 

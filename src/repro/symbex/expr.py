@@ -5,88 +5,199 @@ declared bit width), binary operations reusing the NFIL operator set,
 comparisons (producing 0/1) and selects.  Construction performs constant
 folding and a handful of algebraic simplifications so that path constraints
 stay small and the solver's pattern matching sees normalised shapes.
+
+Expressions are **hash-consed**: every constructor interns its node, so
+structurally equal expressions are pointer-equal, ``==``/``hash`` are O(1)
+identity operations, and per-node analyses (``symbols_of``, ``expr_depth``,
+``simplify``) are computed once and cached on the node.  This is what makes
+the incremental solver contexts (``repro.symbex.incremental``) cheap: memo
+tables can key on expression identity, and the substitution fast path can
+skip whole subtrees whose symbols are untouched.
+
+Interned nodes live for the process lifetime; long-running drivers can call
+:func:`clear_expression_caches` between independent analyses.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.ir.instructions import BinOpKind, CmpKind
 
 MACHINE_BITS = 64
 MACHINE_MASK = (1 << MACHINE_BITS) - 1
 
+_EMPTY_SYMBOLS: frozenset = frozenset()
+_EMPTY_NAMES: frozenset = frozenset()
+
 
 class Expr:
-    """Base class of all symbolic expressions."""
+    """Base class of all symbolic expressions.
 
-    __slots__ = ()
+    Subclasses intern their instances in ``__new__``; identity equality and
+    hashing (inherited from ``object``) are therefore structural.
+    """
+
+    __slots__ = ("symbols", "symbol_names", "depth", "_simplified")
+
+    # Interning makes structural equality identity equality; keep object's
+    # __eq__/__hash__ (identity) for O(1) dict/set operations.
 
     @property
     def is_concrete(self) -> bool:
         return isinstance(self, Const)
 
+    def __copy__(self) -> "Expr":
+        return self
 
-@dataclass(frozen=True)
+    def __deepcopy__(self, memo) -> "Expr":
+        return self
+
+
 class Const(Expr):
     """A concrete 64-bit value."""
 
-    value: int
+    __slots__ = ("value",)
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "value", self.value & MACHINE_MASK)
+    _intern: dict[int, "Const"] = {}
+
+    def __new__(cls, value: int) -> "Const":
+        value &= MACHINE_MASK
+        cached = cls._intern.get(value)
+        if cached is None:
+            cached = object.__new__(cls)
+            cached.value = value
+            cached.symbols = _EMPTY_SYMBOLS
+            cached.symbol_names = _EMPTY_NAMES
+            cached.depth = 1
+            cached._simplified = cached
+            cls._intern[value] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"Const(value={self.value})"
 
     def __str__(self) -> str:
         return f"0x{self.value:x}" if self.value > 9 else str(self.value)
 
 
-@dataclass(frozen=True)
 class Sym(Expr):
     """A named symbolic input with a bit width (default: full word)."""
 
-    name: str
-    bits: int = MACHINE_BITS
+    __slots__ = ("name", "bits")
+
+    _intern: dict[tuple[str, int], "Sym"] = {}
+
+    def __new__(cls, name: str, bits: int = MACHINE_BITS) -> "Sym":
+        key = (name, bits)
+        cached = cls._intern.get(key)
+        if cached is None:
+            cached = object.__new__(cls)
+            cached.name = name
+            cached.bits = bits
+            cached.symbols = frozenset((cached,))
+            cached.symbol_names = frozenset((name,))
+            cached.depth = 1
+            cached._simplified = cached
+            cls._intern[key] = cached
+        return cached
 
     @property
     def mask(self) -> int:
         return (1 << self.bits) - 1
 
+    def __repr__(self) -> str:
+        return f"Sym(name={self.name!r}, bits={self.bits})"
+
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class BinExpr(Expr):
     """A binary arithmetic/bitwise operation."""
 
-    op: BinOpKind
-    lhs: Expr
-    rhs: Expr
+    __slots__ = ("op", "lhs", "rhs")
+
+    _intern: dict[tuple, "BinExpr"] = {}
+
+    def __new__(cls, op: BinOpKind, lhs: Expr, rhs: Expr) -> "BinExpr":
+        key = (op, lhs, rhs)
+        cached = cls._intern.get(key)
+        if cached is None:
+            cached = object.__new__(cls)
+            cached.op = op
+            cached.lhs = lhs
+            cached.rhs = rhs
+            cached.symbols = lhs.symbols | rhs.symbols
+            cached.symbol_names = lhs.symbol_names | rhs.symbol_names
+            cached.depth = 1 + max(lhs.depth, rhs.depth)
+            cached._simplified = None
+            cls._intern[key] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"BinExpr(op={self.op!r}, lhs={self.lhs!r}, rhs={self.rhs!r})"
 
     def __str__(self) -> str:
         return f"({self.lhs} {self.op.value} {self.rhs})"
 
 
-@dataclass(frozen=True)
 class CmpExpr(Expr):
     """A comparison; evaluates to 1 (true) or 0 (false)."""
 
-    pred: CmpKind
-    lhs: Expr
-    rhs: Expr
+    __slots__ = ("pred", "lhs", "rhs")
+
+    _intern: dict[tuple, "CmpExpr"] = {}
+
+    def __new__(cls, pred: CmpKind, lhs: Expr, rhs: Expr) -> "CmpExpr":
+        key = (pred, lhs, rhs)
+        cached = cls._intern.get(key)
+        if cached is None:
+            cached = object.__new__(cls)
+            cached.pred = pred
+            cached.lhs = lhs
+            cached.rhs = rhs
+            cached.symbols = lhs.symbols | rhs.symbols
+            cached.symbol_names = lhs.symbol_names | rhs.symbol_names
+            cached.depth = 1 + max(lhs.depth, rhs.depth)
+            cached._simplified = None
+            cls._intern[key] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"CmpExpr(pred={self.pred!r}, lhs={self.lhs!r}, rhs={self.rhs!r})"
 
     def __str__(self) -> str:
         return f"({self.lhs} {self.pred.value} {self.rhs})"
 
 
-@dataclass(frozen=True)
 class SelectExpr(Expr):
     """``cond ? if_true : if_false`` with a 0/1 condition."""
 
-    cond: Expr
-    if_true: Expr
-    if_false: Expr
+    __slots__ = ("cond", "if_true", "if_false")
+
+    _intern: dict[tuple, "SelectExpr"] = {}
+
+    def __new__(cls, cond: Expr, if_true: Expr, if_false: Expr) -> "SelectExpr":
+        key = (cond, if_true, if_false)
+        cached = cls._intern.get(key)
+        if cached is None:
+            cached = object.__new__(cls)
+            cached.cond = cond
+            cached.if_true = if_true
+            cached.if_false = if_false
+            cached.symbols = cond.symbols | if_true.symbols | if_false.symbols
+            cached.symbol_names = (
+                cond.symbol_names | if_true.symbol_names | if_false.symbol_names
+            )
+            cached.depth = 1 + max(cond.depth, if_true.depth, if_false.depth)
+            cached._simplified = None
+            cls._intern[key] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectExpr(cond={self.cond!r}, if_true={self.if_true!r}, "
+            f"if_false={self.if_false!r})"
+        )
 
     def __str__(self) -> str:
         return f"({self.cond} ? {self.if_true} : {self.if_false})"
@@ -94,6 +205,37 @@ class SelectExpr(Expr):
 
 TRUE = Const(1)
 FALSE = Const(0)
+
+
+#: Callbacks invoked by :func:`clear_expression_caches`.  Caches elsewhere
+#: that key on expression identity (e.g. the incremental solver's memo and
+#: fingerprint tables) register here so they cannot outlive the interned
+#: expressions their keys refer to.
+_CACHE_CLEAR_HOOKS: list = []
+
+
+def register_cache_clear_hook(hook) -> None:
+    """Register a callable to run whenever expression caches are cleared."""
+    _CACHE_CLEAR_HOOKS.append(hook)
+
+
+def clear_expression_caches() -> None:
+    """Drop all interned expressions (for long-running drivers and tests).
+
+    Existing expression objects stay valid; new structurally-equal nodes
+    created afterwards will no longer be pointer-equal to old ones, so only
+    call this between independent analyses.  Identity-keyed caches that
+    registered via :func:`register_cache_clear_hook` are cleared too, so
+    recycled object ids cannot resurrect stale entries.
+    """
+    for cls in (Const, Sym, BinExpr, CmpExpr, SelectExpr):
+        cls._intern.clear()
+    # Keep the module-level singletons canonical so identity comparisons
+    # against TRUE/FALSE still hold after a clear.
+    Const._intern[FALSE.value] = FALSE
+    Const._intern[TRUE.value] = TRUE
+    for hook in _CACHE_CLEAR_HOOKS:
+        hook()
 
 
 def const(value: int) -> Const:
@@ -200,7 +342,7 @@ def make_binop(op: BinOpKind, lhs: Expr, rhs: Expr) -> Expr:
         and isinstance(lhs.rhs, Const)
     ):
         return make_binop(BinOpKind.AND, lhs.lhs, Const(lhs.rhs.value & rhs.value))
-    return BinExpr(op=op, lhs=lhs, rhs=rhs)
+    return BinExpr(op, lhs, rhs)
 
 
 _NEGATED_PRED = {
@@ -234,8 +376,8 @@ def make_cmp(pred: CmpKind, lhs: Expr, rhs: Expr) -> Expr:
         if keep_inner is True:
             return lhs
         if keep_inner is False:
-            return CmpExpr(pred=_NEGATED_PRED[lhs.pred], lhs=lhs.lhs, rhs=lhs.rhs)
-    if lhs == rhs:
+            return CmpExpr(_NEGATED_PRED[lhs.pred], lhs.lhs, lhs.rhs)
+    if lhs is rhs:
         if pred in (CmpKind.EQ, CmpKind.ULE, CmpKind.UGE):
             return TRUE
         if pred in (CmpKind.NE, CmpKind.ULT, CmpKind.UGT):
@@ -246,15 +388,15 @@ def make_cmp(pred: CmpKind, lhs: Expr, rhs: Expr) -> Expr:
             return FALSE
         if pred in (CmpKind.NE, CmpKind.ULT, CmpKind.ULE):
             return TRUE
-    return CmpExpr(pred=pred, lhs=lhs, rhs=rhs)
+    return CmpExpr(pred, lhs, rhs)
 
 
 def make_select(cond: Expr, if_true: Expr, if_false: Expr) -> Expr:
     if isinstance(cond, Const):
         return if_true if cond.value != 0 else if_false
-    if if_true == if_false:
+    if if_true is if_false:
         return if_true
-    return SelectExpr(cond=cond, if_true=if_true, if_false=if_false)
+    return SelectExpr(cond, if_true, if_false)
 
 
 def expr_eq(lhs: Expr, rhs: Expr) -> Expr:
@@ -270,15 +412,7 @@ def expr_not(value: Expr) -> Expr:
     if isinstance(value, Const):
         return FALSE if value.value else TRUE
     if isinstance(value, CmpExpr):
-        negated = {
-            CmpKind.EQ: CmpKind.NE,
-            CmpKind.NE: CmpKind.EQ,
-            CmpKind.ULT: CmpKind.UGE,
-            CmpKind.ULE: CmpKind.UGT,
-            CmpKind.UGT: CmpKind.ULE,
-            CmpKind.UGE: CmpKind.ULT,
-        }[value.pred]
-        return CmpExpr(pred=negated, lhs=value.lhs, rhs=value.rhs)
+        return CmpExpr(_NEGATED_PRED[value.pred], value.lhs, value.rhs)
     return make_cmp(CmpKind.EQ, value, Const(0))
 
 
@@ -292,38 +426,28 @@ def expr_and(lhs: Expr, rhs: Expr) -> Expr:
 
 
 def simplify(expr: Expr) -> Expr:
-    """Re-normalise an expression bottom-up (idempotent)."""
-    if isinstance(expr, (Const, Sym)):
-        return expr
+    """Re-normalise an expression bottom-up (idempotent, cached per node)."""
+    cached = expr._simplified
+    if cached is not None:
+        return cached
     if isinstance(expr, BinExpr):
-        return make_binop(expr.op, simplify(expr.lhs), simplify(expr.rhs))
-    if isinstance(expr, CmpExpr):
-        return make_cmp(expr.pred, simplify(expr.lhs), simplify(expr.rhs))
-    if isinstance(expr, SelectExpr):
-        return make_select(simplify(expr.cond), simplify(expr.if_true), simplify(expr.if_false))
-    return expr
-
-
-def symbols_of(expr: Expr) -> set[Sym]:
-    """All symbols occurring in ``expr``."""
-    result: set[Sym] = set()
-    _collect_symbols(expr, result)
+        result = make_binop(expr.op, simplify(expr.lhs), simplify(expr.rhs))
+    elif isinstance(expr, CmpExpr):
+        result = make_cmp(expr.pred, simplify(expr.lhs), simplify(expr.rhs))
+    elif isinstance(expr, SelectExpr):
+        result = make_select(
+            simplify(expr.cond), simplify(expr.if_true), simplify(expr.if_false)
+        )
+    else:
+        result = expr
+    result._simplified = result  # simplification is idempotent
+    expr._simplified = result
     return result
 
 
-def _collect_symbols(expr: Expr, into: set[Sym]) -> None:
-    if isinstance(expr, Sym):
-        into.add(expr)
-    elif isinstance(expr, BinExpr):
-        _collect_symbols(expr.lhs, into)
-        _collect_symbols(expr.rhs, into)
-    elif isinstance(expr, CmpExpr):
-        _collect_symbols(expr.lhs, into)
-        _collect_symbols(expr.rhs, into)
-    elif isinstance(expr, SelectExpr):
-        _collect_symbols(expr.cond, into)
-        _collect_symbols(expr.if_true, into)
-        _collect_symbols(expr.if_false, into)
+def symbols_of(expr: Expr) -> frozenset[Sym]:
+    """All symbols occurring in ``expr`` (cached on the node, O(1))."""
+    return expr.symbols
 
 
 def evaluate(expr: Expr, assignment: dict[str, int]) -> int:
@@ -346,8 +470,19 @@ def evaluate(expr: Expr, assignment: dict[str, int]) -> int:
 
 
 def substitute(expr: Expr, assignment: dict[str, int]) -> Expr:
-    """Replace any symbols present in ``assignment`` by constants."""
-    if isinstance(expr, Const):
+    """Replace any symbols present in ``assignment`` by constants.
+
+    Subtrees mentioning no assigned symbol are returned unchanged (O(1)
+    thanks to the per-node symbol-name cache), so substitution cost scales
+    with the touched part of the tree, not its total size.
+    """
+    names = expr.symbol_names
+    if not names or not assignment:
+        return expr
+    for name in names:
+        if name in assignment:
+            break
+    else:
         return expr
     if isinstance(expr, Sym):
         if expr.name in assignment:
@@ -366,15 +501,6 @@ def substitute(expr: Expr, assignment: dict[str, int]) -> Expr:
     raise TypeError(f"cannot substitute into {expr!r}")
 
 
-@lru_cache(maxsize=4096)
 def expr_depth(expr: Expr) -> int:
     """Tree depth of an expression (used to cap solver effort)."""
-    if isinstance(expr, (Const, Sym)):
-        return 1
-    if isinstance(expr, BinExpr):
-        return 1 + max(expr_depth(expr.lhs), expr_depth(expr.rhs))
-    if isinstance(expr, CmpExpr):
-        return 1 + max(expr_depth(expr.lhs), expr_depth(expr.rhs))
-    if isinstance(expr, SelectExpr):
-        return 1 + max(expr_depth(expr.cond), expr_depth(expr.if_true), expr_depth(expr.if_false))
-    return 1
+    return expr.depth

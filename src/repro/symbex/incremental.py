@@ -1,0 +1,404 @@
+"""Incremental constraint solving for the symbolic-execution hot loop.
+
+The engine's two hottest solver entry points — per-branch feasibility and
+per-candidate cache-model probes — previously re-simplified and re-propagated
+the *entire* path constraint list from scratch on every query
+(``Solver.quick_feasible``), making solver work O(path length) per query and
+O(n²) per path.  A :class:`SolverContext` eliminates that: each
+:class:`~repro.symbex.state.ExecutionState` carries one, and the context
+maintains the propagation fixpoint (per-symbol :class:`~repro.symbex.solver._Domain`
+objects, the derived concrete assignment and the still-unresolved
+constraints) *incrementally* as constraints are added along the path.
+
+- :meth:`SolverContext.feasible_with` answers "is the path still feasible
+  with this extra constraint?" by propagating only the new constraint
+  against the cached fixpoint (scratch copy-on-write domains, committed
+  state untouched), memoised on (constraint-set fingerprint, extra
+  constraint) so forked siblings probing the same candidates share verdicts.
+- :meth:`SolverContext.add` commits a constraint, advancing the fixpoint in
+  O(delta).
+- :meth:`SolverContext.solve_value` returns a concrete value for an
+  expression: directly from the fixpoint assignment when every symbol is
+  pinned, otherwise through the full :class:`~repro.symbex.solver.Solver`
+  (kept as the slow-path oracle so models are identical to monolithic
+  solving).
+- :meth:`SolverContext.fork` is O(current delta): domains are shared
+  copy-on-write with the child, the constraint log becomes a persistent
+  parent-linked chain, and the feasibility memo carries over through the
+  shared fingerprint.
+
+Soundness note: propagation is a monotone fixpoint computation (domains only
+ever tighten), so incrementally-reached fixpoints coincide with from-scratch
+ones; ``tests/test_incremental.py`` replays recorded engine query streams
+through both paths and asserts identical verdicts and models.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.symbex import expr as expr_module
+from repro.symbex.expr import Const, Expr, evaluate, simplify, substitute
+from repro.symbex.solver import Solver, SolverResult, _Domain
+
+#: Rounds cap for one incremental propagation wave; mirrors the cap in
+#: ``Solver._propagate`` so both paths reach the same bounded fixpoint.
+_MAX_ROUNDS = 32
+
+#: Bound on the shared feasibility/value memo tables; when exceeded the
+#: tables are simply cleared (queries regenerate cheaply).
+_MEMO_LIMIT = 1 << 17
+
+
+class _ContextStats:
+    """Process-global counters for benchmarks and regression tracking."""
+
+    __slots__ = ("queries", "memo_hits", "adds", "forks", "slow_path_checks", "fast_path_values")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.memo_hits = 0
+        self.adds = 0
+        self.forks = 0
+        self.slow_path_checks = 0
+        self.fast_path_values = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+CONTEXT_STATS = _ContextStats()
+
+# -- constraint-set fingerprints ------------------------------------------------
+#
+# A context's constraint *sequence* identifies its constraint set.  Because
+# expressions are hash-consed (stable identity), the sequence can be interned
+# into a single integer: fingerprint(parent_set ++ [c]) is looked up from
+# (fingerprint(parent_set), id(c)).  Two contexts that accumulated the same
+# constraints in the same order — e.g. forked siblings before they diverge —
+# share a fingerprint and therefore share memoised query verdicts.
+
+_SET_IDS: dict[tuple[int, int], int] = {}
+_set_id_counter = itertools.count(1)
+
+_FEASIBLE_MEMO: dict[tuple[int, int], bool] = {}
+_VALUE_MEMO: dict[tuple, "int | None"] = {}
+
+
+def _extend_set_id(parent: int, constraint: Expr) -> int:
+    key = (parent, id(constraint))
+    set_id = _SET_IDS.get(key)
+    if set_id is None:
+        set_id = next(_set_id_counter)
+        _SET_IDS[key] = set_id
+    return set_id
+
+
+def clear_incremental_caches() -> None:
+    """Drop the shared fingerprint and memo tables (tests, long drivers)."""
+    _SET_IDS.clear()
+    _FEASIBLE_MEMO.clear()
+    _VALUE_MEMO.clear()
+
+
+# The fingerprint/memo tables key on id() of interned expressions, so they
+# must not survive the intern tables: if the interned objects are released,
+# a recycled id could resurrect a stale entry for a different constraint.
+expr_module.register_cache_clear_hook(clear_incremental_caches)
+
+
+class _CowDomains:
+    """Copy-on-write view over a domains dict.
+
+    ``Solver._propagate_one`` mutates any domain it looks up through
+    ``_domain_for``; this wrapper clones a domain on first access unless the
+    context already owns it, and records pre-access signatures so a
+    propagation round can tell whether anything *really* changed (the raw
+    propagator is optimistic and reports "changed" for no-op updates, which
+    would otherwise spin every wave to the rounds cap).
+    """
+
+    __slots__ = ("base", "owned", "pre_signatures")
+
+    def __init__(self, base: dict[str, _Domain], owned: set[str]) -> None:
+        self.base = base
+        self.owned = owned
+        self.pre_signatures: dict[str, tuple] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.base
+
+    def __getitem__(self, name: str) -> _Domain:
+        domain = self.base[name]
+        if name not in self.pre_signatures:
+            self.pre_signatures[name] = domain.signature()
+        if name not in self.owned:
+            domain = domain.clone()
+            self.base[name] = domain
+            self.owned.add(name)
+        return domain
+
+    def __setitem__(self, name: str, domain: _Domain) -> None:
+        if name not in self.pre_signatures:
+            self.pre_signatures[name] = None  # newly created: counts as change
+        self.base[name] = domain
+        self.owned.add(name)
+
+    def changed_names(self) -> list[str]:
+        return [
+            name
+            for name, pre in self.pre_signatures.items()
+            if pre is None or self.base[name].signature() != pre
+        ]
+
+    def reset_round(self) -> None:
+        self.pre_signatures = {}
+
+
+class _ConstraintChain:
+    """Persistent (parent-linked) constraint log shared across forks."""
+
+    __slots__ = ("parent", "items")
+
+    def __init__(self, parent: "_ConstraintChain | None", items: tuple[Expr, ...]) -> None:
+        self.parent = parent
+        self.items = items
+
+    def materialize(self) -> list[Expr]:
+        blocks: list[tuple[Expr, ...]] = []
+        node: _ConstraintChain | None = self
+        while node is not None:
+            blocks.append(node.items)
+            node = node.parent
+        out: list[Expr] = []
+        for block in reversed(blocks):
+            out.extend(block)
+        return out
+
+
+class SolverContext:
+    """Incremental solving state carried by one execution state."""
+
+    __slots__ = (
+        "solver",
+        "_assignment",
+        "_domains",
+        "_owned",
+        "_pending",
+        "_chain",
+        "_local",
+        "_materialized",
+        "_set_id",
+        "unsat",
+    )
+
+    def __init__(self, solver: Solver | None = None) -> None:
+        self.solver = solver or Solver()
+        self._assignment: dict[str, int] = {}
+        self._domains: dict[str, _Domain] = {}
+        self._owned: set[str] = set()
+        self._pending: list[Expr] = []
+        self._chain: _ConstraintChain | None = None
+        self._local: list[Expr] = []
+        self._materialized: list[Expr] | None = []
+        self._set_id = 0
+        self.unsat = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def fork(self) -> "SolverContext":
+        """O(delta) copy: domains go copy-on-write, the log becomes shared."""
+        CONTEXT_STATS.forks += 1
+        if self._local:
+            self._chain = _ConstraintChain(self._chain, tuple(self._local))
+            self._local = []
+        child = SolverContext.__new__(SolverContext)
+        child.solver = self.solver
+        child._assignment = dict(self._assignment)
+        child._domains = dict(self._domains)
+        child._owned = set()
+        self._owned = set()  # parent's domains are shared now too
+        child._pending = list(self._pending)
+        child._chain = self._chain
+        child._local = []
+        child._materialized = None
+        child._set_id = self._set_id
+        child.unsat = self.unsat
+        return child
+
+    # -- constraint log --------------------------------------------------------
+
+    def constraints(self) -> list[Expr]:
+        """The full (pre-simplified) constraint list, oldest first.
+
+        The returned list is cached and shared; treat it as read-only.
+        """
+        if self._materialized is None:
+            out = self._chain.materialize() if self._chain is not None else []
+            out.extend(self._local)
+            self._materialized = out
+        return self._materialized
+
+    def __len__(self) -> int:
+        return len(self.constraints())
+
+    # -- queries ---------------------------------------------------------------
+
+    def feasible_with(self, extra: Expr) -> bool:
+        """Quick feasibility of (path constraints + ``extra``).
+
+        Same contract as ``Solver.quick_feasible`` on the full list: False
+        only on a definite contradiction, True otherwise (optimistically).
+        Costs O(delta): only the new constraint and whatever it wakes up are
+        propagated, against scratch copy-on-write domains.
+        """
+        CONTEXT_STATS.queries += 1
+        if self.unsat:
+            return False
+        extra = simplify(substitute(extra, self._assignment))
+        if isinstance(extra, Const):
+            return extra.value != 0
+        key = (self._set_id, id(extra))
+        cached = _FEASIBLE_MEMO.get(key)
+        if cached is not None:
+            CONTEXT_STATS.memo_hits += 1
+            return cached
+        scratch_assignment = dict(self._assignment)
+        scratch_domains = _CowDomains(dict(self._domains), set())
+        scratch_pending = list(self._pending)
+        verdict = self._propagate_wave(scratch_assignment, scratch_domains, scratch_pending, [extra])
+        if len(_FEASIBLE_MEMO) >= _MEMO_LIMIT:
+            _FEASIBLE_MEMO.clear()
+        _FEASIBLE_MEMO[key] = verdict
+        return verdict
+
+    def add(self, constraint: Expr) -> None:
+        """Commit ``constraint`` to the path, advancing the fixpoint."""
+        if isinstance(constraint, Const):
+            if constraint.value == 0:
+                self.unsat = True
+            return
+        CONTEXT_STATS.adds += 1
+        self._local.append(constraint)
+        if self._materialized is not None:
+            self._materialized.append(constraint)
+        self._set_id = _extend_set_id(self._set_id, constraint)
+        if self.unsat:
+            return
+        reduced = simplify(substitute(constraint, self._assignment))
+        if isinstance(reduced, Const):
+            if reduced.value == 0:
+                self.unsat = True
+            return
+        cow = _CowDomains(self._domains, self._owned)
+        if not self._propagate_wave(self._assignment, cow, self._pending, [reduced]):
+            self.unsat = True
+
+    def solve_value(self, expr: Expr, defaults: dict[str, int] | None = None) -> int | None:
+        """A concrete value for ``expr`` consistent with the path, or None.
+
+        Fast path: when propagation has already pinned every symbol of
+        ``expr``, the value follows directly from the fixpoint assignment.
+        Slow path: delegate to the monolithic ``Solver.check`` oracle over
+        the full constraint list (so values match non-incremental solving
+        exactly, including the deterministic search fallback).
+        """
+        if self.unsat:
+            return None
+        reduced = simplify(substitute(expr, self._assignment))
+        if isinstance(reduced, Const):
+            CONTEXT_STATS.fast_path_values += 1
+            return reduced.value
+        # Values depend on the solver's budget/seed (its process-unique uid)
+        # and on the supplied defaults (hashed by content, so two calls with
+        # different defaults never share an entry).
+        defaults_key = hash(frozenset(defaults.items())) if defaults else None
+        key = (self.solver.uid, self._set_id, id(reduced), defaults_key)
+        if key in _VALUE_MEMO:
+            CONTEXT_STATS.memo_hits += 1
+            return _VALUE_MEMO[key]
+        result = self.check(defaults=defaults)
+        if not result.is_sat:
+            value: int | None = None
+        else:
+            assignment = {
+                symbol.name: result.model.get(symbol.name, (defaults or {}).get(symbol.name, 0))
+                for symbol in reduced.symbols
+            }
+            value = evaluate(reduced, assignment)
+        if len(_VALUE_MEMO) >= _MEMO_LIMIT:
+            _VALUE_MEMO.clear()
+        _VALUE_MEMO[key] = value
+        return value
+
+    def check(self, defaults: dict[str, int] | None = None) -> SolverResult:
+        """Full model search over the committed constraints (slow path)."""
+        CONTEXT_STATS.slow_path_checks += 1
+        if self.unsat:
+            return SolverResult(status="unsat", reason="incremental propagation found a contradiction")
+        return self.solver.check(self.constraints(), defaults=defaults)
+
+    def assignment_of(self, name: str) -> int | None:
+        """The pinned value of a symbol, if propagation fully determined it."""
+        return self._assignment.get(name)
+
+    # -- propagation core ------------------------------------------------------
+
+    def _propagate_wave(
+        self,
+        assignment: dict[str, int],
+        domains: _CowDomains,
+        pending: list[Expr],
+        new_constraints: Iterable[Expr],
+    ) -> bool:
+        """Run constraint propagation to a (bounded) fixpoint.
+
+        ``pending`` is updated in place to the new unresolved set.  Returns
+        False when a definite contradiction is found.  Mirrors
+        ``Solver._propagate`` but wakes up only on *real* domain change, so
+        an already-stable fixpoint costs one pass over the new constraints.
+        """
+        solver = self.solver
+        queue = list(pending)
+        queue.extend(new_constraints)
+        for _round in range(_MAX_ROUNDS):
+            domains.reset_round()
+            changed = False
+            unresolved: list[Expr] = []
+            for constraint in queue:
+                reduced = simplify(substitute(constraint, assignment))
+                if isinstance(reduced, Const):
+                    if reduced.value == 0:
+                        return False
+                    changed = True  # constraint fully resolved: may unblock others
+                    continue
+                outcome = solver._propagate_one(reduced, assignment, domains)
+                if outcome == "unsat":
+                    return False
+                unresolved.append(reduced)
+            # Promote domains that became fully known to concrete assignments.
+            for name in domains.changed_names():
+                changed = True
+                domain = domains.base[name]
+                if name not in assignment and domain.fully_known:
+                    value = domain.value
+                    if value in domain.exclusions or not (domain.lo <= value <= domain.hi):
+                        return False
+                    assignment[name] = value
+            queue = unresolved
+            if not changed:
+                break
+        pending[:] = queue
+        return True
+
+
+def replay_context(solver: Solver, constraints: Iterable[Expr]) -> SolverContext:
+    """Build a context by adding ``constraints`` in order (test helper)."""
+    context = SolverContext(solver)
+    for constraint in constraints:
+        context.add(constraint)
+    return context

@@ -24,6 +24,7 @@ It works in three phases:
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 
@@ -93,6 +94,20 @@ class _Domain:
         self.hi = symbol.mask
         self.exclusions: set[int] = set()
 
+    def clone(self) -> "_Domain":
+        """Independent copy (for copy-on-write solver contexts)."""
+        other = _Domain(self.symbol)
+        other.known_mask = self.known_mask
+        other.known_value = self.known_value
+        other.lo = self.lo
+        other.hi = self.hi
+        other.exclusions = set(self.exclusions)
+        return other
+
+    def signature(self) -> tuple[int, int, int, int, int]:
+        """Cheap fingerprint used to detect real propagation progress."""
+        return (self.known_mask, self.known_value, self.lo, self.hi, len(self.exclusions))
+
     @property
     def fully_known(self) -> bool:
         return self.known_mask == self.symbol.mask
@@ -155,9 +170,14 @@ class _Domain:
 class Solver:
     """Bit-vector constraint solver (see module docstring)."""
 
+    _uids = itertools.count(1)
+
     def __init__(self, search_budget: int = 6000, seed: int = 0xCA57A) -> None:
         self.search_budget = search_budget
         self._seed = seed
+        # Process-unique id for memo keys: unlike ``id(self)`` it is never
+        # recycled after garbage collection.
+        self.uid = next(Solver._uids)
 
     # -- public API ----------------------------------------------------------
 
@@ -309,7 +329,7 @@ class Solver:
                 if not domain.set_bits(mask << shift, (target & mask) << shift):
                     return "unsat"
                 return "changed"
-            inverted = self._invert(lhs, target)
+            inverted = self._invert_raw(lhs, target)
             if inverted is not None:
                 symbol, value = inverted
                 domain = self._domain_for(symbol, domains)
@@ -459,7 +479,30 @@ class Solver:
     # -- algebraic inversion ---------------------------------------------------
 
     def _invert(self, expr: Expr, target: int) -> tuple[Sym, int] | None:
-        """Solve ``expr == target`` when expr contains one symbol occurrence."""
+        """Solve ``expr == target`` when expr contains one symbol occurrence.
+
+        Returns ``None`` when no solution exists *within the symbol's
+        declared width*: an inversion chain that produces a value wider than
+        the symbol has no in-range solution, so the raw (overflowing) value
+        must not escape to callers that would truncate it into a bogus
+        candidate.
+        """
+        inverted = self._invert_raw(expr, target)
+        if inverted is None:
+            return None
+        symbol, value = inverted
+        if value > symbol.mask:
+            return None
+        return symbol, value
+
+    def _invert_raw(self, expr: Expr, target: int) -> tuple[Sym, int] | None:
+        """Like :meth:`_invert` but keeps out-of-width values.
+
+        Used by propagation, which turns an overflowing inversion into a
+        definite UNSAT (every implemented inversion step only ever *adds*
+        free low bits, so an out-of-width canonical solution means every
+        solution is out of width).
+        """
         occurrences = self._count_symbol_occurrences(expr)
         if len(occurrences) != 1 or next(iter(occurrences.values())) != 1:
             return None
@@ -467,7 +510,7 @@ class Solver:
         if value is None:
             return None
         symbol = next(iter(symbols_of(expr)))
-        return symbol, value & symbol.mask if value <= symbol.mask else value
+        return symbol, value
 
     def _count_symbol_occurrences(self, expr: Expr) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -579,14 +622,23 @@ class Solver:
                     mention_count[symbol.name] += 1
         unassigned.sort(key=lambda name: -mention_count[name])
 
+        # Index constraints by mentioned symbol: assigning one symbol can
+        # only change the reduction of constraints that mention it, so each
+        # backtracking node re-checks O(relevant) constraints, not O(all).
+        by_symbol = {
+            name: [c for c in unresolved if name in c.symbol_names] for name in unassigned
+        }
         budget = [self.search_budget]
-        return self._backtrack(unassigned, 0, unresolved, assignment, domains, rng, budget, extra_candidates)
+        return self._backtrack(
+            unassigned, 0, unresolved, by_symbol, assignment, domains, rng, budget, extra_candidates
+        )
 
     def _backtrack(
         self,
         order: list[str],
         position: int,
         constraints: list[Expr],
+        by_symbol: dict[str, list[Expr]],
         assignment: dict[str, int],
         domains: dict[str, _Domain],
         rng: random.Random,
@@ -602,10 +654,12 @@ class Solver:
         if domain is None:
             # Symbol disappeared after substitution; skip it.
             return self._backtrack(
-                order, position + 1, constraints, assignment, domains, rng, budget, extra_candidates
+                order, position + 1, constraints, by_symbol, assignment, domains, rng, budget,
+                extra_candidates,
             )
+        relevant = by_symbol.get(name, [])
         candidates = list(extra_candidates.get(name, []))
-        candidates += self._suggest_from_constraints(name, constraints, assignment)
+        candidates += self._suggest_from_constraints(name, relevant, assignment)
         candidates += domain.candidates(rng)
         seen: set[int] = set()
         for candidate in candidates:
@@ -621,8 +675,11 @@ class Solver:
             if budget[0] <= 0:
                 return False
             assignment[name] = candidate
-            if self._consistent(constraints, assignment) and self._backtrack(
-                order, position + 1, constraints, assignment, domains, rng, budget, extra_candidates
+            # Only constraints mentioning ``name`` can have changed their
+            # reduction; everything else was vetted at an earlier level.
+            if self._consistent(relevant, assignment) and self._backtrack(
+                order, position + 1, constraints, by_symbol, assignment, domains, rng, budget,
+                extra_candidates,
             ):
                 return True
             del assignment[name]

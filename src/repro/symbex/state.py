@@ -3,8 +3,15 @@
 A state captures everything needed to continue one execution path: the call
 stack (with register values), the overlay of symbolic memory writes, the
 path constraints, the cache-model state, cycle/instruction counters, the
-per-packet metric history and the havoc records collected so far.  States
-are forked (deep-copied) at branches on symbolic conditions.
+per-packet metric history and the havoc records collected so far.
+
+States fork at branches on symbolic conditions.  Forking is **copy-on-write**:
+frames, register files and memory overlays are shared between parent and
+child until one of them writes, and path constraints live in a persistent
+parent-linked log inside the state's
+:class:`~repro.symbex.incremental.SolverContext` (or a local fallback list
+when no context is attached).  A fork is therefore O(call depth) instead of
+O(everything the path ever touched).
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from repro.symbex.havoc import HavocRecord
 
 if TYPE_CHECKING:  # pragma: no cover - avoid a package-level import cycle
     from repro.cache.model import CacheModel
+    from repro.symbex.incremental import SolverContext
 
 
 class StateStatus(enum.Enum):
@@ -32,7 +40,13 @@ class StateStatus(enum.Enum):
 
 @dataclass
 class Frame:
-    """One activation record on a state's call stack."""
+    """One activation record on a state's call stack.
+
+    Register files go copy-on-write across :meth:`copy`: the copy shares the
+    ``registers`` dict with the original and both sides clone it on their
+    first subsequent write (:meth:`write_register`).  All register writes
+    must go through that method.
+    """
 
     function: str
     block: str
@@ -43,16 +57,26 @@ class Frame:
     # How many times each loop-head block has been entered in this frame
     # (guards against runaway loops under optimistic feasibility checks).
     loop_visits: dict[str, int] = field(default_factory=dict)
+    # True while ``registers`` may be shared with a copy of this frame.
+    registers_shared: bool = False
 
     def copy(self) -> "Frame":
+        self.registers_shared = True
         return Frame(
             function=self.function,
             block=self.block,
             index=self.index,
-            registers=dict(self.registers),
+            registers=self.registers,
             return_target=self.return_target,
             loop_visits=dict(self.loop_visits),
+            registers_shared=True,
         )
+
+    def write_register(self, name: str, value: Expr) -> None:
+        if self.registers_shared:
+            self.registers = dict(self.registers)
+            self.registers_shared = False
+        self.registers[name] = value
 
 
 @dataclass
@@ -75,11 +99,21 @@ class ExecutionState:
 
     _ids = itertools.count()
 
-    def __init__(self, cache_model: "CacheModel", num_packets: int) -> None:
+    def __init__(
+        self,
+        cache_model: "CacheModel",
+        num_packets: int,
+        solver_context: "SolverContext | None" = None,
+    ) -> None:
         self.sid = next(ExecutionState._ids)
-        self.frames: list[Frame] = []
-        self.memory: dict[str, dict[int, Expr]] = {}
-        self.constraints: list[Expr] = []
+        self._frames: list[Frame] = []
+        self._frames_owned: list[bool] = []
+        self._memory: dict[str, dict[int, Expr]] = {}
+        self._owned_regions: set[str] = set()
+        self.solver_context = solver_context
+        self._constraints_fallback: list[Expr] | None = (
+            [] if solver_context is None else None
+        )
         self.cache_model = cache_model
         self.num_packets = num_packets
         self.packets_processed = 0
@@ -108,12 +142,24 @@ class ExecutionState:
     # -- lifecycle ------------------------------------------------------------
 
     def fork(self) -> "ExecutionState":
-        """Create an independent copy of this state."""
+        """Create an independent copy of this state (copy-on-write)."""
         child = ExecutionState.__new__(ExecutionState)
         child.sid = next(ExecutionState._ids)
-        child.frames = [frame.copy() for frame in self.frames]
-        child.memory = {region: dict(cells) for region, cells in self.memory.items()}
-        child.constraints = list(self.constraints)
+        # Frames and memory overlays are shared until either side writes.
+        child._frames = list(self._frames)
+        child._frames_owned = [False] * len(self._frames)
+        self._frames_owned = [False] * len(self._frames)
+        child._memory = dict(self._memory)
+        child._owned_regions = set()
+        self._owned_regions = set()
+        child.solver_context = (
+            self.solver_context.fork() if self.solver_context is not None else None
+        )
+        child._constraints_fallback = (
+            list(self._constraints_fallback)
+            if self._constraints_fallback is not None
+            else None
+        )
         child.cache_model = self.cache_model.clone()
         child.num_packets = self.num_packets
         child.packets_processed = self.packets_processed
@@ -136,47 +182,89 @@ class ExecutionState:
     # -- frames -----------------------------------------------------------------
 
     @property
+    def frames(self) -> list[Frame]:
+        """The call stack (read-only view; do not mutate frames directly)."""
+        return self._frames
+
+    @property
     def top_frame(self) -> Frame:
-        return self.frames[-1]
+        """The active frame, made private to this state (copy-on-write).
+
+        Use this for any mutation of the current frame; use ``frames[-1]``
+        for pure reads to avoid triggering the copy.
+        """
+        frame = self._frames[-1]
+        if not self._frames_owned[-1]:
+            frame = frame.copy()
+            self._frames[-1] = frame
+            self._frames_owned[-1] = True
+        return frame
 
     def push_frame(self, frame: Frame) -> None:
-        self.frames.append(frame)
+        self._frames.append(frame)
+        self._frames_owned.append(True)
 
     def pop_frame(self) -> Frame:
-        return self.frames.pop()
+        self._frames_owned.pop()
+        return self._frames.pop()
 
     @property
     def call_depth(self) -> int:
-        return len(self.frames)
+        return len(self._frames)
 
     # -- registers and memory -----------------------------------------------------
 
     def read_register(self, name: str) -> Expr:
+        frame = self._frames[-1]
         try:
-            return self.top_frame.registers[name]
+            return frame.registers[name]
         except KeyError:
             raise KeyError(
-                f"read of undefined register %{name} in {self.top_frame.function}"
+                f"read of undefined register %{name} in {frame.function}"
             ) from None
 
     def write_register(self, name: str, value: Expr) -> None:
-        self.top_frame.registers[name] = value
+        self.top_frame.write_register(name, value)
+
+    @property
+    def memory(self) -> dict[str, dict[int, Expr]]:
+        """Memory overlays (read-only view; write via :meth:`write_memory`)."""
+        return self._memory
 
     def read_memory(self, region_name: str, index: int, default: int = 0) -> Expr:
-        overlay = self.memory.get(region_name)
+        overlay = self._memory.get(region_name)
         if overlay is not None and index in overlay:
             return overlay[index]
         return Const(default)
 
     def write_memory(self, region_name: str, index: int, value: Expr) -> None:
-        self.memory.setdefault(region_name, {})[index] = value
+        cells = self._memory.get(region_name)
+        if cells is None:
+            cells = {}
+            self._memory[region_name] = cells
+            self._owned_regions.add(region_name)
+        elif region_name not in self._owned_regions:
+            cells = dict(cells)
+            self._memory[region_name] = cells
+            self._owned_regions.add(region_name)
+        cells[index] = value
 
     # -- constraints and symbols ----------------------------------------------------
+
+    @property
+    def constraints(self) -> list[Expr]:
+        """Path constraints, oldest first (treat as read-only)."""
+        if self.solver_context is not None:
+            return self.solver_context.constraints()
+        return self._constraints_fallback
 
     def add_constraint(self, constraint: Expr) -> None:
         if isinstance(constraint, Const):
             return
-        self.constraints.append(constraint)
+        if self.solver_context is not None:
+            self.solver_context.add(constraint)
+        else:
+            self._constraints_fallback.append(constraint)
 
     def fresh_symbol_name(self, prefix: str) -> str:
         self._fresh_symbol_counter += 1

@@ -222,6 +222,25 @@ class TestCacheModels:
         decision = model.on_access(small, Sym("h", 16), False, lambda c: True, lambda e: 1)
         assert decision.index == 13
 
+    def test_touched_elements_window_is_bounded_deque(self):
+        from collections import deque
+
+        from repro.cache.model import TOUCHED_ELEMENT_WINDOW
+
+        model = self._contention_model()
+        region = self._region()
+        for index in range(TOUCHED_ELEMENT_WINDOW + 100):
+            model.on_access(region, Const(index % region.length), False, lambda c: True, lambda e: 0)
+        touched = model._touched_elements[region.name]
+        assert isinstance(touched, deque)
+        assert len(touched) == TOUCHED_ELEMENT_WINDOW
+        # The oldest entries were trimmed; the newest survive in order.
+        assert touched[-1] == (TOUCHED_ELEMENT_WINDOW + 99) % region.length
+        assert touched[0] == 100
+        # Clones keep the bound.
+        clone = model.clone()
+        assert clone._touched_elements[region.name].maxlen == TOUCHED_ELEMENT_WINDOW
+
     def test_clone_isolates_state(self):
         model = self._contention_model()
         region = self._region()

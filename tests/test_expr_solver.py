@@ -200,6 +200,18 @@ class TestSolver:
         result = self.solver.check([expr_eq(P8, Const(1000))])
         assert not result.is_sat
 
+    def test_invert_overflow_returns_none(self):
+        # Regression: inverting (p << 4) == 0xF000 gives p == 0xF00, which
+        # does not fit the 8-bit symbol; _invert must report "no solution in
+        # width" rather than hand back an unmasked out-of-range value.
+        shifted = make_binop(BinOpKind.SHL, P8, Const(4))
+        assert self.solver._invert(shifted, 0xF000) is None
+        # In-range inversions still work through the same entry point.
+        assert self.solver._invert(shifted, 0x70) == (P8, 0x7)
+        # And the constraint itself is correctly judged unsatisfiable.
+        result = self.solver.check([expr_eq(shifted, Const(0xF000))])
+        assert not result.is_sat
+
     @given(st.integers(0, 2**32 - 1), st.integers(1, 30))
     @settings(max_examples=30, deadline=None)
     def test_inversion_roundtrip_property(self, value, shift):

@@ -1,0 +1,340 @@
+"""Tests for the incremental solving subsystem and copy-on-write forking.
+
+The load-bearing property is *equivalence*: replaying a path's constraint
+stream through a :class:`SolverContext` must produce exactly the verdicts
+and models that monolithic ``Solver`` calls over the full constraint list
+produce.  Streams come from real engine runs and from a seeded random
+generator, so both realistic and adversarial shapes are covered.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.model import NoCacheModel
+from repro.frontend.compiler import compile_nf
+from repro.ir.instructions import BinOpKind, CmpKind
+from repro.ir.module import Module
+from repro.symbex.engine import SymbolicEngine
+from repro.symbex.expr import (
+    Const,
+    Sym,
+    evaluate,
+    expr_eq,
+    expr_ne,
+    expr_not,
+    make_binop,
+    make_cmp,
+    symbols_of,
+)
+from repro.symbex.incremental import (
+    CONTEXT_STATS,
+    SolverContext,
+    clear_incremental_caches,
+    replay_context,
+)
+from repro.symbex.searcher import CastanSearcher
+from repro.symbex.solver import Solver
+from repro.symbex.state import ExecutionState, Frame, StateStatus
+
+
+def make_module(source, regions=None):
+    module = Module("test")
+    for name, (length, size, initial) in (regions or {}).items():
+        module.add_region(name, length, size, initial=initial)
+    compile_nf(module, source, entry="process")
+    return module
+
+
+def packet_symbols(index=0):
+    return [
+        Sym(f"p{index}.src_ip", 32),
+        Sym(f"p{index}.dst_ip", 32),
+        Sym(f"p{index}.src_port", 16),
+        Sym(f"p{index}.dst_port", 16),
+        Sym(f"p{index}.protocol", 8),
+    ]
+
+
+def assert_stream_equivalent(stream):
+    """Replay ``stream`` incrementally and compare every query to monolithic solving."""
+    context = SolverContext(Solver())
+    prefix = []
+    for constraint in stream:
+        for probe in (constraint, expr_not(constraint)):
+            incremental = context.feasible_with(probe)
+            monolithic = Solver().quick_feasible(prefix + [probe])
+            assert incremental == monolithic, (
+                f"feasibility diverged on probe {probe} after prefix of {len(prefix)}: "
+                f"incremental={incremental} monolithic={monolithic}"
+            )
+        context.add(constraint)
+        prefix.append(constraint)
+    assert context.unsat == (not Solver().quick_feasible(prefix))
+    if context.unsat:
+        return
+    # Model/value equivalence for every symbol mentioned on the path.
+    result = Solver().check(prefix)
+    names = sorted({s.name for c in prefix for s in symbols_of(c)})
+    for name in names:
+        symbol = next(s for c in prefix for s in symbols_of(c) if s.name == name)
+        value = context.solve_value(symbol)
+        if result.is_sat:
+            assert value == result.model.get(name, 0), (
+                f"solve_value diverged for {name}: {value} != {result.model.get(name, 0)}"
+            )
+
+
+class TestDifferentialEngineStreams:
+    """Replay constraint streams recorded from real symbolic executions."""
+
+    def collect_streams(self, source, regions=None, max_states=200, **engine_kwargs):
+        module = make_module(source, regions)
+        engine = SymbolicEngine(module, "process", [packet_symbols()], **engine_kwargs)
+        stats = engine.run(CastanSearcher(), max_states=max_states)
+        states = stats.completed_states + stats.pending_states
+        streams = [list(state.constraints) for state in states if state.constraints]
+        assert streams, "expected at least one constrained path"
+        return streams
+
+    def test_branchy_bit_test_paths(self):
+        streams = self.collect_streams(
+            """
+def process(src_ip, dst_ip, src_port, dst_port, protocol):
+    if protocol != 17:
+        return 0
+    cost = 0
+    i = 0
+    while i < 6:
+        if (dst_ip >> i) & 1 == 1:
+            cost = cost + table[i]
+        i = i + 1
+    return cost
+""",
+            regions={"table": (8, 8, {i: 5 for i in range(8)})},
+        )
+        for stream in streams:
+            assert_stream_equivalent(stream)
+
+    def test_ordering_and_range_paths(self):
+        streams = self.collect_streams(
+            """
+def process(src_ip, dst_ip, src_port, dst_port, protocol):
+    if src_port < 1024:
+        if dst_port > 8000:
+            return 2
+        if dst_port != 53:
+            return 1
+        return 3
+    if src_ip == dst_ip:
+        return 4
+    return 0
+"""
+        )
+        for stream in streams:
+            assert_stream_equivalent(stream)
+
+    def test_symbolic_loop_bound_paths(self):
+        streams = self.collect_streams(
+            """
+def process(src_ip, dst_ip, src_port, dst_port, protocol):
+    i = 0
+    while i < dst_port:
+        i = i + 1
+    return i
+""",
+            max_states=40,
+            max_loop_iterations=8,
+        )
+        for stream in streams:
+            assert_stream_equivalent(stream)
+
+
+class TestDifferentialRandomStreams:
+    """Seeded random constraint streams, including contradictory ones."""
+
+    SYMBOLS = (Sym("x", 32), Sym("y", 32), Sym("z", 16), Sym("p", 8))
+
+    def random_constraint(self, rng):
+        sym = rng.choice(self.SYMBOLS)
+        shape = rng.randrange(6)
+        if shape == 0:  # trie bit test: (sym >> k) & 1 == b
+            k = rng.randrange(sym.bits)
+            bit = make_binop(BinOpKind.AND, make_binop(BinOpKind.LSHR, sym, Const(k)), Const(1))
+            return expr_eq(bit, Const(rng.randrange(2)))
+        if shape == 1:  # masked byte: (sym >> k) & 0xFF == c
+            k = rng.randrange(max(1, sym.bits - 8))
+            masked = make_binop(BinOpKind.AND, make_binop(BinOpKind.LSHR, sym, Const(k)), Const(0xFF))
+            return expr_eq(masked, Const(rng.randrange(256)))
+        if shape == 2:  # interval bound
+            pred = rng.choice([CmpKind.ULT, CmpKind.ULE, CmpKind.UGT, CmpKind.UGE])
+            return make_cmp(pred, sym, Const(rng.randrange(1, sym.mask)))
+        if shape == 3:  # exclusion
+            return expr_ne(sym, Const(rng.randrange(sym.mask + 1)))
+        if shape == 4:  # affine equality: sym * a + b == c
+            a = rng.choice([3, 5, 7, 9])
+            b = rng.randrange(1 << 16)
+            expr = make_binop(BinOpKind.ADD, make_binop(BinOpKind.MUL, sym, Const(a)), Const(b))
+            return expr_eq(expr, Const(rng.randrange(1 << 32)))
+        # xor equality: sym ^ c == d
+        return expr_eq(
+            make_binop(BinOpKind.XOR, sym, Const(rng.randrange(sym.mask + 1))),
+            Const(rng.randrange(sym.mask + 1)),
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_streams_match_monolithic(self, seed):
+        rng = random.Random(0xD1FF + seed)
+        stream = [self.random_constraint(rng) for _ in range(rng.randrange(4, 14))]
+        assert_stream_equivalent(stream)
+
+    def test_contradictory_stream_goes_unsat(self):
+        x = Sym("x", 32)
+        stream = [expr_eq(x, Const(3)), expr_eq(x, Const(4))]
+        context = replay_context(Solver(), stream)
+        assert context.unsat
+        assert not context.feasible_with(expr_eq(x, Const(3)))
+        assert context.solve_value(x) is None
+        assert context.check().is_unsat
+
+
+class TestSolverContext:
+    def test_constraint_log_survives_forks(self):
+        x, y = Sym("x", 32), Sym("y", 32)
+        parent = replay_context(Solver(), [expr_eq(x, Const(1))])
+        child = parent.fork()
+        child.add(expr_eq(y, Const(2)))
+        parent.add(expr_ne(y, Const(9)))
+        assert [str(c) for c in parent.constraints()] == ["(x eq 1)", "(y ne 9)"]
+        assert [str(c) for c in child.constraints()] == ["(x eq 1)", "(y eq 2)"]
+
+    def test_fork_isolation_of_domains(self):
+        x = Sym("x", 32)
+        parent = replay_context(Solver(), [make_cmp(CmpKind.ULT, x, Const(100))])
+        child = parent.fork()
+        child.add(expr_eq(x, Const(5)))
+        # The child pinned x; the parent must still consider other values.
+        assert child.solve_value(x) == 5
+        assert parent.feasible_with(expr_eq(x, Const(7)))
+        assert not child.feasible_with(expr_eq(x, Const(7)))
+
+    def test_forked_siblings_share_memoised_verdicts(self):
+        clear_incremental_caches()
+        x = Sym("x", 32)
+        parent = replay_context(Solver(), [make_cmp(CmpKind.ULT, x, Const(10))])
+        left, right = parent.fork(), parent.fork()
+        probe = expr_eq(x, Const(3))
+        assert left.feasible_with(probe)
+        hits_before = CONTEXT_STATS.memo_hits
+        assert right.feasible_with(probe)
+        assert CONTEXT_STATS.memo_hits == hits_before + 1
+
+    def test_solve_value_respects_changing_defaults(self):
+        # Regression: the value memo must not serve an entry computed under
+        # different defaults.
+        context = SolverContext(Solver())
+        x = Sym("x", 8)
+        assert context.solve_value(x, defaults={"x": 5}) == 5
+        assert context.solve_value(x, defaults={"x": 7}) == 7
+        assert context.solve_value(x) == 0
+
+    def test_clearing_expression_caches_clears_identity_keyed_memos(self):
+        # Regression: the memo tables key on id() of interned expressions,
+        # so dropping the intern tables must drop the memos with them.
+        from repro.symbex.expr import clear_expression_caches
+        from repro.symbex.incremental import _FEASIBLE_MEMO, _SET_IDS
+
+        context = replay_context(Solver(), [expr_eq(Sym("x", 32), Const(1))])
+        context.feasible_with(expr_ne(Sym("x", 32), Const(2)))
+        assert _FEASIBLE_MEMO and _SET_IDS
+        clear_expression_caches()
+        assert not _FEASIBLE_MEMO and not _SET_IDS
+
+    def test_engine_routes_queries_through_context(self):
+        module = make_module(
+            """
+def process(src_ip, dst_ip, src_port, dst_port, protocol):
+    if protocol == 17:
+        return 1
+    return 0
+"""
+        )
+        engine = SymbolicEngine(module, "process", [packet_symbols()])
+        queries_before = CONTEXT_STATS.queries
+        stats = engine.run(CastanSearcher(), max_states=20)
+        assert CONTEXT_STATS.queries > queries_before
+        assert len(stats.completed_states) == 2
+
+
+class TestCopyOnWriteState:
+    def make_state(self):
+        state = ExecutionState(
+            cache_model=NoCacheModel(), num_packets=1, solver_context=SolverContext(Solver())
+        )
+        state.push_frame(
+            Frame(function="f", block="entry", registers={"a": Const(1), "b": Const(2)})
+        )
+        state.write_memory("tbl", 3, Const(7))
+        state.add_constraint(expr_eq(Sym("x", 32), Const(5)))
+        return state
+
+    def test_child_writes_do_not_leak_into_parent(self):
+        parent = self.make_state()
+        child = parent.fork()
+        child.write_register("a", Const(99))
+        child.write_memory("tbl", 3, Const(42))
+        child.write_memory("heap", 0, Const(1))
+        child.add_constraint(expr_ne(Sym("y", 32), Const(0)))
+        child_frame = child.top_frame
+        child_frame.block = "other"
+        child_frame.index = 7
+
+        assert parent.read_register("a") == Const(1)
+        assert parent.read_memory("tbl", 3) == Const(7)
+        assert parent.read_memory("heap", 0, default=0) == Const(0)
+        assert len(parent.constraints) == 1
+        parent_frame = parent.frames[-1]
+        assert parent_frame.block == "entry" and parent_frame.index == 0
+
+    def test_parent_writes_do_not_leak_into_child(self):
+        parent = self.make_state()
+        child = parent.fork()
+        parent.write_register("b", Const(77))
+        parent.write_memory("tbl", 3, Const(11))
+        parent.add_constraint(expr_eq(Sym("z", 32), Const(1)))
+        parent.top_frame.block = "elsewhere"
+
+        assert child.read_register("b") == Const(2)
+        assert child.read_memory("tbl", 3) == Const(7)
+        assert len(child.constraints) == 1
+        assert child.frames[-1].block == "entry"
+
+    def test_deep_frames_stay_shared_until_written(self):
+        parent = self.make_state()
+        parent.push_frame(Frame(function="g", block="inner", registers={"r": Const(3)}))
+        child = parent.fork()
+        # Writing in the child's top frame must not corrupt the parent's.
+        child.write_register("r", Const(30))
+        assert parent.read_register("r") == Const(3)
+        # Returning into the shared caller frame copies it on write.
+        child.pop_frame()
+        child.write_register("a", Const(100))
+        assert parent.frames[0].registers["a"] == Const(1)
+
+    def test_fork_during_engine_run_keeps_paths_independent(self):
+        module = make_module(
+            """
+def process(src_ip, dst_ip, src_port, dst_port, protocol):
+    counter[0] = counter[0] + 1
+    if protocol == 17:
+        counter[0] = counter[0] + 10
+        return counter[0]
+    return counter[0]
+""",
+            regions={"counter": (1, 8, {})},
+        )
+        engine = SymbolicEngine(module, "process", [packet_symbols()])
+        stats = engine.run(CastanSearcher(), max_states=50)
+        actions = sorted(state.packet_actions[0].value for state in stats.completed_states)
+        assert actions == [1, 11]
+        assert all(state.status is StateStatus.COMPLETED for state in stats.completed_states)

@@ -248,6 +248,15 @@ def process(src_ip, dst_ip, src_port, dst_port, protocol):
         assert stats.states_explored <= 60
         assert stats.completed_states  # some paths completed despite the guard
 
+    def test_arity_check_guards_on_packet_args(self):
+        # Regression: the arity check must only run when packet args exist
+        # (the original expression mixed `!=` and a ternary without parens).
+        module = make_module(BRANCHY_SOURCE, regions={"table": (8, 8, {})})
+        engine = SymbolicEngine(module, "process", [])  # no packets: fine
+        assert engine.packet_args == []
+        with pytest.raises(ValueError, match="packet argument count"):
+            SymbolicEngine(module, "process", [[Const(1), Const(2)]])
+
     def test_out_of_bounds_concrete_index_marks_error(self):
         source = """
 def process(src_ip, dst_ip, src_port, dst_port, protocol):
