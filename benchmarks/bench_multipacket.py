@@ -1,0 +1,170 @@
+"""Monolithic vs. per-packet beam search on the full evaluation suite.
+
+For every evaluation NF this benchmark runs the same ``Castan`` analysis
+twice — once with the monolithic all-packets search and once with the
+per-packet beam scheduler (``search_mode="beam"``, see
+``repro.symbex.batch``) — and compares states explored, best-state cost
+and wall time.  The beam scheduler's claim is that forcing per-packet
+progress reaches deeper (higher-cost) multi-packet states with *less*
+exploration, so the beam run is handicapped: its global state budget is 2%
+tighter than the monolithic one, and its strike round additionally stops
+early once it converges.  Both explored-state counts are reported, so the
+comparison stays transparent.
+
+Run standalone for the comparison table and JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_multipacket.py --out BENCH_multipacket.json
+
+or under pytest (smoke-sized sanity run)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_multipacket.py -q
+
+The exploration budget is taken from ``REPRO_EVAL_SCALE`` (smoke / quick /
+full) but the wall-clock deadline is disabled so runs are deterministic and
+comparable across machines and revisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.castan import Castan, CastanResult
+from repro.core.config import CastanConfig
+from repro.eval.experiments import EVALUATION_NFS
+from repro.nf.registry import get_nf
+
+_SCALE_STATES = {"smoke": 60, "quick": 250, "full": 2500}
+DEFAULT_BEAM_WIDTH = 3
+
+
+def _max_states() -> int:
+    scale = os.environ.get("REPRO_EVAL_SCALE", "quick").lower()
+    return _SCALE_STATES.get(scale, _SCALE_STATES["quick"])
+
+
+def _beam_budget(max_states: int) -> int:
+    """The beam run's (2% tighter) state budget."""
+    return max(1, max_states * 49 // 50)
+
+
+def _analyze(name: str, max_states: int, search_mode: str, beam_width: int) -> dict[str, object]:
+    config = CastanConfig(
+        max_states=max_states,
+        deadline_seconds=None,
+        search_mode=search_mode,
+        beam_width=beam_width,
+    )
+    start = time.perf_counter()
+    result: CastanResult = Castan(config).analyze(get_nf(name))
+    wall = time.perf_counter() - start
+    return {
+        "search_mode": search_mode,
+        "wall_seconds": round(wall, 4),
+        "states_explored": result.states_explored,
+        "best_state_cost": result.best_state_cost,
+        "completed_paths": result.completed_paths,
+        "forks": result.forks,
+        "search_rounds": result.search_rounds,
+        "packet_count": result.packet_count,
+        "unique_flows": result.unique_flows,
+    }
+
+
+def bench_nf(name: str, max_states: int, beam_width: int) -> dict[str, object]:
+    """Run the monolithic and beam analyses of one NF and compare."""
+    mono = _analyze(name, max_states, "monolithic", beam_width)
+    beam = _analyze(name, _beam_budget(max_states), "beam", beam_width)
+    return {
+        "nf": name,
+        "monolithic": mono,
+        "beam": beam,
+        "beam_cost_ratio": (
+            round(beam["best_state_cost"] / mono["best_state_cost"], 4)
+            if mono["best_state_cost"]
+            else None
+        ),
+        "beam_reaches_mono_cost": beam["best_state_cost"] >= mono["best_state_cost"],
+        "beam_explores_fewer_states": beam["states_explored"] < mono["states_explored"],
+    }
+
+
+def run_benchmark(
+    nfs: tuple[str, ...] = EVALUATION_NFS,
+    max_states: int | None = None,
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+) -> dict:
+    max_states = max_states if max_states is not None else _max_states()
+    records = []
+    for name in nfs:
+        record = bench_nf(name, max_states, beam_width)
+        records.append(record)
+        mono, beam = record["monolithic"], record["beam"]
+        print(
+            f"{name:>20}:  mono {mono['best_state_cost']:>7} cost /{mono['states_explored']:>5} states"
+            f"  |  beam {beam['best_state_cost']:>7} cost /{beam['states_explored']:>5} states"
+            f"  ({record['beam_cost_ratio']}x cost, {beam['search_rounds']} rounds)"
+        )
+    summary = {
+        "nfs_total": len(records),
+        "beam_reaches_mono_cost": sum(r["beam_reaches_mono_cost"] for r in records),
+        "beam_explores_fewer_states": sum(r["beam_explores_fewer_states"] for r in records),
+        "mono_wall_seconds": round(sum(r["monolithic"]["wall_seconds"] for r in records), 4),
+        "beam_wall_seconds": round(sum(r["beam"]["wall_seconds"] for r in records), 4),
+    }
+    print(
+        f"beam reaches monolithic cost on {summary['beam_reaches_mono_cost']}/{summary['nfs_total']} NFs, "
+        f"explores fewer states on {summary['beam_explores_fewer_states']}/{summary['nfs_total']}"
+    )
+    return {
+        "benchmark": "bench_multipacket",
+        "scale": os.environ.get("REPRO_EVAL_SCALE", "quick").lower(),
+        "max_states": max_states,
+        "beam_width": beam_width,
+        "nfs": records,
+        "summary": summary,
+    }
+
+
+# -- pytest entry point (smoke-sized sanity run) -------------------------------
+
+
+def test_multipacket_bench_smoke():
+    """Both search modes run end to end and report comparable counters."""
+    report = run_benchmark(nfs=("lpm-patricia",), max_states=40)
+    record = report["nfs"][0]
+    assert record["monolithic"]["best_state_cost"] > 0
+    assert record["beam"]["best_state_cost"] > 0
+    assert record["beam"]["search_rounds"] > 0
+    assert record["monolithic"]["search_rounds"] == 0
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nfs", nargs="*", default=list(EVALUATION_NFS), help="NF names to run")
+    parser.add_argument("--max-states", type=int, default=None, help="override exploration budget")
+    parser.add_argument(
+        "--beam-width", type=int, default=DEFAULT_BEAM_WIDTH, help="beam width for beam mode"
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(tuple(args.nfs), args.max_states, args.beam_width)
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,9 @@ Given a :class:`~repro.nf.base.NetworkFunction`, an analysis run:
    discovery against the simulated hierarchy, or via the equivalent oracle);
 3. symbolically executes the NF over N symbolic packets under the
    max-cost searcher, with the cache model concretizing symbolic pointers
-   and ``castan_havoc`` suppressing hash functions;
+   and ``castan_havoc`` suppressing hash functions — either as one
+   monolithic search or, with ``search_mode="beam"``, as the per-packet
+   beam-batched round schedule of :mod:`repro.symbex.batch`;
 4. picks the highest-cost state, solves its path constraint, reconciles
    havocs with rainbow tables, and materialises N concrete packets plus the
    per-path CPU-model metrics.
@@ -31,6 +33,7 @@ from repro.hashing.rainbow import RainbowTable, build_flow_rainbow_table
 from repro.net.packet import Packet
 from repro.net.pcap import write_pcap
 from repro.nf.base import NetworkFunction
+from repro.symbex.batch import run_beam_search
 from repro.symbex.engine import SymbexStats, SymbolicEngine
 from repro.symbex.havoc import ReconciliationOutcome, reconcile_havocs
 from repro.symbex.searcher import make_searcher
@@ -53,6 +56,8 @@ class CastanResult:
     havoc_outcome: ReconciliationOutcome | None = None
     solver_status: str = ""
     contention_sets_used: int = 0
+    search_mode: str = "monolithic"
+    search_rounds: int = 0
     notes: str = ""
 
     @property
@@ -88,7 +93,11 @@ class Castan:
         """Synthesize an adversarial workload for ``nf``."""
         config = self.config
         start = time.monotonic()
-        packet_count = num_packets or config.packets_for(nf.castan_packet_count)
+        # `is None`, not truthiness: an explicit num_packets=0 must not be
+        # silently replaced by the per-NF default (see CastanConfig.packets_for).
+        packet_count = (
+            num_packets if num_packets is not None else config.packets_for(nf.castan_packet_count)
+        )
 
         annotation = self._annotate(nf)
         cache_model, contention_sets = self._build_cache_model(nf)
@@ -109,13 +118,7 @@ class Castan:
             hash_output_bits=nf.hash_output_bits,
             max_loop_iterations=config.max_loop_iterations,
         )
-        searcher = make_searcher(config.searcher)
-        stats = engine.run(
-            searcher,
-            max_states=config.max_states,
-            deadline_seconds=config.deadline_seconds,
-            max_instructions_per_state=config.max_instructions_per_state,
-        )
+        stats = self._run_search(engine)
 
         best = stats.best_state()
         if best is None:
@@ -123,6 +126,8 @@ class Castan:
                 nf_name=nf.name,
                 analysis_seconds=time.monotonic() - start,
                 states_explored=stats.states_explored,
+                search_mode=config.search_mode,
+                search_rounds=len(stats.rounds),
                 notes="no state survived exploration",
             )
 
@@ -143,10 +148,42 @@ class Castan:
             havoc_outcome=havoc_outcome,
             solver_status=solver_status,
             contention_sets_used=contention_sets.set_count if contention_sets else 0,
+            search_mode=config.search_mode,
+            search_rounds=len(stats.rounds),
         )
         return result
 
     # -- pipeline stages -----------------------------------------------------------
+
+    def _run_search(self, engine: SymbolicEngine) -> SymbexStats:
+        """Dispatch to the monolithic or per-packet beam search."""
+        config = self.config
+        if config.search_mode not in ("monolithic", "beam"):
+            raise ValueError(
+                f"unknown search_mode {config.search_mode!r}; options: monolithic, beam"
+            )
+
+        def searcher_factory():
+            return make_searcher(config.searcher, seed=config.seed)
+
+        if config.search_mode == "beam" and config.beam_width > 0:
+            return run_beam_search(
+                engine,
+                searcher_factory,
+                beam_width=config.beam_width,
+                max_states=config.max_states,
+                deadline_seconds=config.deadline_seconds,
+                max_instructions_per_state=config.max_instructions_per_state,
+                round_max_states=config.round_max_states,
+                round_deadline_seconds=config.round_deadline_seconds,
+                strike_chunk_states=config.strike_chunk_states,
+            )
+        return engine.run(
+            searcher_factory(),
+            max_states=config.max_states,
+            deadline_seconds=config.deadline_seconds,
+            max_instructions_per_state=config.max_instructions_per_state,
+        )
 
     def _annotate(self, nf: NetworkFunction) -> CostAnnotation:
         return annotate_costs(

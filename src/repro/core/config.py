@@ -25,6 +25,20 @@ class CastanConfig:
     deadline_seconds: float | None = 60.0
     # Loop bound M for the potential-cost annotation (§3.4).
     loop_bound: int = 2
+    # Search shape: "monolithic" explores all N packets in one search;
+    # "beam" runs the per-packet round scheduler (repro.symbex.batch),
+    # carrying the beam_width highest-priority frontier states between
+    # rounds.  beam_width=0 makes "beam" fall back to the monolithic search.
+    # A narrow beam (3) measures best across the evaluation NFs: priming
+    # rounds only need to carry a few diverse lineages forward.
+    search_mode: str = "monolithic"
+    beam_width: int = 3
+    # Pop budget of one priming round (None = beam_width + 1) and chunk
+    # size of the final strike round, which gets the whole remaining
+    # max_states budget; round_deadline_seconds caps any single round.
+    round_max_states: int | None = None
+    round_deadline_seconds: float | None = None
+    strike_chunk_states: int = 32
     # Searcher: "castan", "dfs", "bfs" or "random" (ablation).
     searcher: str = "castan"
     # Cache model: "contention" (default), "none" (ablation).
@@ -53,5 +67,10 @@ class CastanConfig:
     seed: int = 0xCA57A
 
     def packets_for(self, nf_default: int) -> int:
-        """Resolve the packet count for an NF with the given default."""
+        """Resolve the packet count for an NF with the given default.
+
+        Only ``None`` means "use the NF's default": an explicit
+        ``num_packets=0`` (however degenerate) must not silently become the
+        default, so the check is ``is None`` rather than truthiness.
+        """
         return self.num_packets if self.num_packets is not None else nf_default

@@ -13,6 +13,7 @@ for larger workloads and exploration budgets closer to the paper's, or
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -55,6 +56,10 @@ class EvalSettings:
     castan_max_states: int = 250
     castan_deadline_seconds: float = 10.0
     castan_num_packets: int | None = None  # per-NF paper-sized packet counts
+    # Search shape: "monolithic" (byte-stable default) or "beam" — the
+    # per-packet round scheduler; see repro.symbex.batch.
+    castan_search_mode: str = "monolithic"
+    castan_beam_width: int = 3
     replay_packets: int = 1200
     zipfian_packets: int = 1600
     zipfian_flows: int = 110
@@ -64,11 +69,21 @@ class EvalSettings:
     @classmethod
     def from_environment(cls) -> "EvalSettings":
         scale = os.environ.get("REPRO_EVAL_SCALE", "quick").lower()
+        search_mode = os.environ.get("REPRO_SEARCH_MODE", "monolithic").lower()
+        if scale not in ("quick", "full", "smoke"):
+            warnings.warn(
+                f"unrecognized REPRO_EVAL_SCALE={scale!r}; falling back to 'quick' "
+                "(options: smoke, quick, full)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            scale = "quick"
         if scale == "full":
             return cls(
                 castan_max_states=2500,
                 castan_deadline_seconds=120.0,
                 castan_num_packets=None,  # per-NF paper-sized packet counts
+                castan_search_mode=search_mode,
                 replay_packets=6000,
                 zipfian_packets=8000,
                 zipfian_flows=540,
@@ -80,13 +95,14 @@ class EvalSettings:
                 castan_max_states=60,
                 castan_deadline_seconds=4.0,
                 castan_num_packets=5,
+                castan_search_mode=search_mode,
                 replay_packets=300,
                 zipfian_packets=400,
                 zipfian_flows=40,
                 unirand_packets=400,
                 throughput_replay_packets=200,
             )
-        return cls()
+        return cls(castan_search_mode=search_mode)
 
 
 SETTINGS = EvalSettings.from_environment()
@@ -106,6 +122,8 @@ def castan_result(name: str) -> CastanResult:
         max_states=SETTINGS.castan_max_states,
         deadline_seconds=SETTINGS.castan_deadline_seconds,
         num_packets=SETTINGS.castan_num_packets,
+        search_mode=SETTINGS.castan_search_mode,
+        beam_width=SETTINGS.castan_beam_width,
     )
     return Castan(config).analyze(nf_instance(name))
 

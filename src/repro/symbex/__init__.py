@@ -28,6 +28,7 @@ __all__ = [
     "Model",
     "RandomSearcher",
     "ReconciliationOutcome",
+    "RoundStats",
     "Searcher",
     "SelectExpr",
     "Solver",
@@ -42,6 +43,8 @@ __all__ = [
     "expr_ne",
     "make_searcher",
     "reconcile_havocs",
+    "run_beam_search",
+    "select_beam",
     "simplify",
     "symbols_of",
 ]
@@ -73,6 +76,9 @@ _EXPORTS = {
     "RandomSearcher": (".searcher", "RandomSearcher"),
     "Searcher": (".searcher", "Searcher"),
     "make_searcher": (".searcher", "make_searcher"),
+    "select_beam": (".searcher", "select_beam"),
+    "RoundStats": (".batch", "RoundStats"),
+    "run_beam_search": (".batch", "run_beam_search"),
     "HavocRecord": (".havoc", "HavocRecord"),
     "ReconciliationOutcome": (".havoc", "ReconciliationOutcome"),
     "reconcile_havocs": (".havoc", "reconcile_havocs"),

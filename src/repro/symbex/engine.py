@@ -60,9 +60,33 @@ if TYPE_CHECKING:  # pragma: no cover - avoid a package-level import cycle
 _LOOP_HEAD_PREFIXES = ("while.cond", "for.cond")
 
 
+def _drain_best_pending(searcher: Searcher, limit: int | None) -> list[ExecutionState]:
+    """Drain ``searcher`` and keep the top-``limit`` states by best-state key.
+
+    ``limit=None`` keeps everything (the beam scheduler treats the report as
+    its live frontier, so truncation would silently drop search states).
+    The stable descending sort preserves searcher pop order among states with
+    equal (packets_processed, current_cost), so the state ``best_state()``
+    picks is unchanged whenever the report set was not truncated.
+    """
+    drained: list[ExecutionState] = []
+    while not searcher.empty:
+        drained.append(searcher.pop())
+    if limit is not None and len(drained) > limit:
+        drained.sort(key=lambda s: (s.packets_processed, s.current_cost), reverse=True)
+        del drained[limit:]
+    return drained
+
+
 @dataclass
 class SymbexStats:
-    """Aggregate statistics of one symbolic-execution run."""
+    """Aggregate statistics of one symbolic-execution run.
+
+    A monolithic run fills ``completed_states`` / ``pending_states``; a
+    per-packet beam run (``repro.symbex.batch``) additionally fills
+    ``paused_states`` (frontier states parked at a packet boundary) and
+    ``rounds`` (one :class:`~repro.symbex.batch.RoundStats` per round).
+    """
 
     states_explored: int = 0
     instructions_executed: int = 0
@@ -71,16 +95,27 @@ class SymbexStats:
     error_states: int = 0
     completed_states: list[ExecutionState] = field(default_factory=list)
     pending_states: list[ExecutionState] = field(default_factory=list)
+    paused_states: list[ExecutionState] = field(default_factory=list)
+    rounds: list = field(default_factory=list)
     wall_time_seconds: float = 0.0
 
     def best_state(self) -> ExecutionState | None:
         """The highest-cost state, preferring states that finished all packets."""
         if self.completed_states:
             return max(self.completed_states, key=lambda s: s.current_cost)
-        candidates = self.pending_states
+        candidates = self.paused_states + self.pending_states
         if not candidates:
             return None
         return max(candidates, key=lambda s: (s.packets_processed, s.current_cost))
+
+    def merge_round(self, round_stats: "SymbexStats") -> None:
+        """Fold one round's counters into this aggregate (beam scheduler)."""
+        self.states_explored += round_stats.states_explored
+        self.instructions_executed += round_stats.instructions_executed
+        self.forks += round_stats.forks
+        self.infeasible_states += round_stats.infeasible_states
+        self.error_states += round_stats.error_states
+        self.completed_states.extend(round_stats.completed_states)
 
 
 class SymbolicEngine:
@@ -125,6 +160,9 @@ class SymbolicEngine:
             for name, function in module.functions.items()
         }
         self._stats: SymbexStats | None = None
+        # When set, states crossing this packet boundary pause instead of
+        # starting the next packet (per-packet beam rounds).
+        self._pause_at_packet: int | None = None
 
     # -- state construction ------------------------------------------------------
 
@@ -134,6 +172,10 @@ class SymbolicEngine:
             num_packets=len(self.packet_args),
             solver_context=SolverContext(self.solver),
         )
+        if not self.packet_args:
+            # An explicit zero-packet run: nothing to execute.
+            state.status = StateStatus.COMPLETED
+            return state
         self._start_packet(state, packet_index=0)
         return state
 
@@ -155,6 +197,11 @@ class SymbolicEngine:
         )
         state.begin_packet()
 
+    def resume_state(self, state: ExecutionState) -> None:
+        """Resume a state paused at a packet boundary into its next packet."""
+        state.resume_round()
+        self._start_packet(state, state.packets_processed)
+
     # -- main loop ----------------------------------------------------------------
 
     def run(
@@ -163,42 +210,66 @@ class SymbolicEngine:
         max_states: int | None = None,
         deadline_seconds: float | None = None,
         max_instructions_per_state: int = 100_000,
-        max_pending_report: int = 512,
+        max_pending_report: int | None = 512,
+        initial_states: list[ExecutionState] | None = None,
+        stop_at_packet: int | None = None,
     ) -> SymbexStats:
-        """Explore paths until the searcher drains or a budget is exhausted."""
+        """Explore paths until the searcher drains or a budget is exhausted.
+
+        ``initial_states`` seeds the searcher instead of a fresh initial
+        state (paused seeds are resumed into their next packet), and
+        ``stop_at_packet`` parks states at that packet boundary instead of
+        letting them continue — together they make runs resumable, which is
+        what the per-packet beam scheduler builds on.
+        """
         stats = SymbexStats()
         self._stats = stats
+        self._pause_at_packet = stop_at_packet
         start = time.monotonic()
 
-        initial = self.make_initial_state()
-        self._update_priority(initial)
-        searcher.add(initial)
+        if initial_states is None:
+            initial_states = [self.make_initial_state()]
+        for state in initial_states:
+            if state.status is StateStatus.PAUSED:
+                self.resume_state(state)
+            self._update_priority(state)
+            searcher.add(state)
 
-        while not searcher.empty:
-            if max_states is not None and stats.states_explored >= max_states:
-                break
-            if deadline_seconds is not None and time.monotonic() - start > deadline_seconds:
-                break
-            state = searcher.pop()
-            stats.states_explored += 1
-            for outcome in self.execute_until_fork(state, max_instructions_per_state):
-                if outcome.status is StateStatus.RUNNING:
-                    self._update_priority(outcome)
-                    searcher.add(outcome)
-                elif outcome.status is StateStatus.COMPLETED:
-                    stats.completed_states.append(outcome)
-                elif outcome.status is StateStatus.INFEASIBLE:
-                    stats.infeasible_states += 1
-                else:
-                    stats.error_states += 1
+        try:
+            while not searcher.empty:
+                if max_states is not None and stats.states_explored >= max_states:
+                    break
+                if deadline_seconds is not None and time.monotonic() - start > deadline_seconds:
+                    break
+                state = searcher.pop()
+                stats.states_explored += 1
+                for outcome in self.execute_until_fork(state, max_instructions_per_state):
+                    if outcome.status is StateStatus.RUNNING:
+                        self._update_priority(outcome)
+                        searcher.add(outcome)
+                    elif outcome.status is StateStatus.COMPLETED:
+                        stats.completed_states.append(outcome)
+                    elif outcome.status is StateStatus.PAUSED:
+                        # Refresh the priority so beam selection can compare
+                        # boundary states against mid-packet pending ones.
+                        self._update_priority(outcome)
+                        stats.paused_states.append(outcome)
+                    elif outcome.status is StateStatus.INFEASIBLE:
+                        stats.infeasible_states += 1
+                    else:
+                        stats.error_states += 1
 
-        # Whatever is still pending is reported so the caller can fall back
-        # to the highest-cost partial state (the paper halts on a time
-        # budget and picks the best state seen so far).
-        while not searcher.empty and len(stats.pending_states) < max_pending_report:
-            stats.pending_states.append(searcher.pop())
-        stats.wall_time_seconds = time.monotonic() - start
-        self._stats = None
+            # Whatever is still pending is reported so the caller can fall
+            # back to the highest-cost partial state (the paper halts on a
+            # time budget and picks the best state seen so far).  The report
+            # set is chosen by the same (packets_processed, current_cost) key
+            # that best_state() uses — truncating in searcher pop order would
+            # let bfs/dfs/random searchers drop the true best pending state.
+            stats.pending_states = _drain_best_pending(searcher, max_pending_report)
+        finally:
+            stats.wall_time_seconds = time.monotonic() - start
+            self._stats = None
+            self._pause_at_packet = None
         return stats
 
     # -- single-state execution -----------------------------------------------------
@@ -406,10 +477,15 @@ class SymbolicEngine:
             return
         # The entry function returned: one packet fully processed.
         state.finish_packet(value)
-        if state.packets_processed < state.num_packets:
-            self._start_packet(state, state.packets_processed)
-        else:
+        if state.packets_processed >= state.num_packets:
             state.status = StateStatus.COMPLETED
+        elif (
+            self._pause_at_packet is not None
+            and state.packets_processed >= self._pause_at_packet
+        ):
+            state.pause_at_round_boundary()
+        else:
+            self._start_packet(state, state.packets_processed)
 
     # -- branches ---------------------------------------------------------------------
 
@@ -486,14 +562,24 @@ class SymbolicEngine:
     # -- cost heuristic ------------------------------------------------------------------
 
     def _update_priority(self, state: ExecutionState) -> None:
-        """current cost + potential cost to the end of the last packet (§3.1)."""
+        """current cost + potential cost to the end of the last packet (§3.1).
+
+        Paused states (parked at a packet boundary by a beam round) have no
+        live frames; their potential is the annotated entry cost of every
+        packet still to process, which keeps their priorities comparable
+        with mid-packet states when the beam is selected.
+        """
         potential = 0
-        if self.annotation is not None and state.status is StateStatus.RUNNING:
+        if self.annotation is not None and state.status in (
+            StateStatus.RUNNING,
+            StateStatus.PAUSED,
+        ):
             for frame in state.frames:
                 block = self._blocks[frame.function].get(frame.block)
                 if block is None or frame.index >= len(block.instructions):
                     continue
                 potential += self.annotation.cost_of(block.instructions[frame.index].uid)
-            remaining_packets = max(0, state.num_packets - state.packets_processed - 1)
+            in_flight = 1 if state.frames else 0
+            remaining_packets = max(0, state.num_packets - state.packets_processed - in_flight)
             potential += remaining_packets * self.annotation.entry_cost(self.entry)
         state.priority = state.current_cost + potential

@@ -93,6 +93,11 @@ def _extend_set_id(parent: int, constraint: Expr) -> int:
     key = (parent, id(constraint))
     set_id = _SET_IDS.get(key)
     if set_id is None:
+        # Bound the table like the memo tables: clearing only costs future
+        # sharing (the id counter never restarts, so previously handed-out
+        # fingerprints stay unique and cached query verdicts stay valid).
+        if len(_SET_IDS) >= _MEMO_LIMIT:
+            _SET_IDS.clear()
         set_id = next(_set_id_counter)
         _SET_IDS[key] = set_id
     return set_id

@@ -127,11 +127,42 @@ SEARCHERS = {
     "random": RandomSearcher,
 }
 
+#: Searchers whose behaviour depends on a PRNG seed.
+_SEEDED_SEARCHERS = frozenset({"random"})
 
-def make_searcher(name: str, **kwargs) -> Searcher:
-    """Instantiate a searcher by name (``castan``, ``dfs``, ``bfs``, ``random``)."""
+
+def make_searcher(name: str, seed: int | None = None, **kwargs) -> Searcher:
+    """Instantiate a searcher by name (``castan``, ``dfs``, ``bfs``, ``random``).
+
+    ``seed`` is forwarded to searchers that are randomised (currently
+    ``random``) so ablation runs honor the analysis seed; deterministic
+    searchers ignore it.
+    """
     try:
         factory = SEARCHERS[name]
     except KeyError:
         raise ValueError(f"unknown searcher {name!r}; options: {sorted(SEARCHERS)}") from None
+    if seed is not None and name in _SEEDED_SEARCHERS:
+        kwargs["seed"] = seed
     return factory(**kwargs)
+
+
+def select_beam(states: list[ExecutionState], width: int) -> list[ExecutionState]:
+    """Pick the top-``width`` frontier states for the next beam round.
+
+    States are ranked by estimated total cost — ``state.priority``, i.e.
+    current + annotated potential cost, the same estimate the CASTAN
+    searcher orders by — with (packets_processed, current_cost) breaking
+    ties.  Ranking by realised cost alone would always prefer a cheap state
+    parked at the packet boundary over a mid-packet state being driven down
+    an expensive subtree, throwing away exactly the paths the beam exists to
+    keep.  Final ties break toward the earliest-created state (lowest sid),
+    which makes beam selection deterministic across runs.
+    """
+    if width <= 0:
+        return []
+    ranked = sorted(
+        states,
+        key=lambda s: (-s.priority, -s.packets_processed, -s.current_cost, s.sid),
+    )
+    return ranked[:width]

@@ -33,6 +33,7 @@ class StateStatus(enum.Enum):
     """Lifecycle of an execution state."""
 
     RUNNING = "running"
+    PAUSED = "paused"  # stopped at a packet (round) boundary; resumable
     COMPLETED = "completed"  # processed every symbolic packet
     INFEASIBLE = "infeasible"  # both branch directions contradicted the path
     ERROR = "error"  # executed an illegal operation or exceeded limits
@@ -139,6 +140,11 @@ class ExecutionState:
 
         self._fresh_symbol_counter = 0
 
+        # Round bookkeeping for the per-packet beam scheduler: the cost this
+        # state carried into the current round, so per-round gains can be
+        # reported without re-walking the metric history.
+        self.round_cost_baseline = 0
+
     # -- lifecycle ------------------------------------------------------------
 
     def fork(self) -> "ExecutionState":
@@ -177,7 +183,34 @@ class ExecutionState:
         child.havoc_records = list(self.havoc_records)
         child.packet_actions = list(self.packet_actions)
         child._fresh_symbol_counter = self._fresh_symbol_counter
+        child.round_cost_baseline = self.round_cost_baseline
         return child
+
+    # -- round (packet-boundary) carry-over -----------------------------------
+
+    def pause_at_round_boundary(self) -> None:
+        """Park this state at the packet boundary it just crossed.
+
+        A paused state keeps its NF memory overlays, constraint chain and
+        :class:`~repro.symbex.incremental.SolverContext` intact, so the beam
+        scheduler can carry it into the next round copy-on-write and resume
+        it with :meth:`resume_round`.
+        """
+        if self.status is not StateStatus.RUNNING:
+            raise ValueError(f"cannot pause a {self.status.value} state")
+        self.status = StateStatus.PAUSED
+
+    def resume_round(self) -> None:
+        """Return a paused state to the running pool for the next round."""
+        if self.status is not StateStatus.PAUSED:
+            raise ValueError(f"cannot resume a {self.status.value} state")
+        self.status = StateStatus.RUNNING
+        self.round_cost_baseline = self.current_cost
+
+    @property
+    def round_cost_gain(self) -> int:
+        """Cycles accumulated since this state last entered a round."""
+        return self.current_cost - self.round_cost_baseline
 
     # -- frames -----------------------------------------------------------------
 

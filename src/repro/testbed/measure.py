@@ -15,6 +15,7 @@ Three experiments per (NF, workload) pair, matching the paper:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.nf.base import NetworkFunction
@@ -102,14 +103,18 @@ def _loss_fraction_at_rate(
     if rate_mpps <= 0:
         return 0.0
     interval_ns = 1000.0 / rate_mpps  # ns between arrivals at rate (Mpps)
-    queue_free_at: list[float] = []  # completion times of queued/in-service packets
+    # Completion times of queued/in-service packets.  The server is FIFO, so
+    # completion times are appended in non-decreasing order and retiring is
+    # an O(1) popleft from the front instead of an O(n) list filter.
+    queue_free_at: deque[float] = deque()
     server_free_at = 0.0
     dropped = 0
     now = 0.0
     for service in service_times_ns:
         now += interval_ns
         # Retire completed packets from the queue.
-        queue_free_at = [t for t in queue_free_at if t > now]
+        while queue_free_at and queue_free_at[0] <= now:
+            queue_free_at.popleft()
         if len(queue_free_at) >= queue_capacity:
             dropped += 1
             continue
@@ -146,10 +151,18 @@ def measure_throughput(
             low = mid
         else:
             high = mid
-    loss_at_low = _loss_fraction_at_rate(service_times, low, config.queue_capacity)
+    # Loss is not monotone in the offered rate (arrival/drain phase effects),
+    # so the bisection's `low` can end on a rate whose measured loss exceeds
+    # the threshold.  Step the reported rate down until the loss actually
+    # measured at it is below the threshold, so "max loss-free rate" holds.
+    rate = round(low, 2)
+    loss = _loss_fraction_at_rate(service_times, rate, config.queue_capacity)
+    while loss >= threshold and rate > rate_resolution_mpps:
+        rate = round(rate - rate_resolution_mpps, 6)
+        loss = _loss_fraction_at_rate(service_times, rate, config.queue_capacity)
     return ThroughputResult(
         nf_name=nf.name,
         workload_name=workload.name,
-        max_rate_mpps=round(low, 2),
-        loss_at_max=loss_at_low,
+        max_rate_mpps=rate,
+        loss_at_max=loss,
     )

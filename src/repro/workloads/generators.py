@@ -71,26 +71,38 @@ class Workload:
 
 
 def _flow_for_index(nf: NetworkFunction, index: int, rng: random.Random) -> FlowKey:
-    """Build the ``index``-th generated flow for this NF's traffic class."""
+    """Build the ``index``-th generated flow for this NF's traffic class.
+
+    The map index → flow is **injective** (distinct indices give distinct
+    5-tuples): the (src_ip, src_port) pair encodes the index as a mixed-radix
+    number, with the IP carrying ``index mod address_space`` and the port
+    disambiguating the quotient.  "Unirand" workloads are documented as one
+    flow per packet, so a collision here would silently break them.
+    """
     hints = nf.workload_hints
     protocol = hints.get("protocol", int(IPProtocol.UDP))
     if "dst_ip" in hints:  # LB-style: destination pinned to the VIP
         dst_ip = hints["dst_ip"]
-        src_ip = 0x0B000000 + (index % 0xFFFFFF) + 1
-        src_port = 1024 + ((index * 7) % 60000)
+        wrap, host = divmod(index, 0xFFFFFF)
+        src_ip = 0x0B000000 + host + 1
+        src_port = 1024 + ((host * 7 + wrap) % 60000)
         dst_port = 80
     elif "src_ip_prefix" in hints:  # NAT-style: sources inside the internal prefix
         prefix = hints["src_ip_prefix"]
         bits = hints.get("src_ip_prefix_bits", 8)
         host_space = (1 << (32 - bits)) - 1
-        src_ip = prefix | ((index * 2654435761) & host_space) | 1
+        wrap, host_index = divmod(index, host_space + 1)
+        # Odd-multiplier Knuth scrambling is a bijection on the host space;
+        # forcing a bit (the old ``| 1``) would fold pairs of hosts together.
+        src_ip = prefix | ((host_index * 2654435761) & host_space)
         dst_ip = 0x08080808
-        src_port = 1024 + ((index * 13) % 60000)
+        src_port = 1024 + ((host_index * 13 + wrap) % 60000)
         dst_port = 80 if index % 2 == 0 else 443
     else:  # LPM-style: destinations spread over the address space
         dst_ip = rng.getrandbits(32)
-        src_ip = 0xC0A80000 | (index & 0xFFFF)
-        src_port = 1024 + (index % 60000)
+        wrap, host = divmod(index, 0x10000)
+        src_ip = 0xC0A80000 | host
+        src_port = 1024 + ((host + wrap) % 60000)
         dst_port = 80
     return FlowKey(
         src_ip=src_ip, dst_ip=dst_ip, src_port=src_port, dst_port=dst_port, protocol=protocol

@@ -1,13 +1,18 @@
 """Tests for the workload generators and the simulated testbed."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.nf.common import VIP_ADDRESS
-from repro.nf.registry import get_nf
+from repro.nf.registry import NF_NAMES, get_nf
 from repro.testbed.cdf import CDF
 from repro.testbed.dut import DeviceUnderTest, TestbedConfig
-from repro.testbed.measure import measure_latency, measure_throughput
+from repro.testbed.measure import _loss_fraction_at_rate, measure_latency, measure_throughput
 from repro.workloads.generators import (
+    _flow_for_index,
     make_castan_workload,
     make_manual_workload,
     make_one_packet_workload,
@@ -94,6 +99,42 @@ class TestGenerators:
         assert looped[3].flow_tuple == packets[0].flow_tuple
 
 
+class TestFlowInjectivity:
+    """`_flow_for_index` must be injective for every NF's workload hints:
+    "unirand" is documented as one flow per packet, so a collision would
+    silently break it (regression: the NAT branch's ``| 1`` folded pairs
+    of hosts onto one source address)."""
+
+    @pytest.mark.parametrize("nf_name", NF_NAMES)
+    def test_dense_index_ranges_are_collision_free(self, nf_name):
+        nf = get_nf(nf_name)
+        rng = random.Random(0)
+        flows = [_flow_for_index(nf, i, rng) for i in range(4000)]
+        assert len(set(flows)) == len(flows)
+
+    @pytest.mark.parametrize("nf_name", NF_NAMES)
+    @settings(max_examples=25, deadline=None)
+    @given(
+        indices=st.lists(
+            st.integers(min_value=0, max_value=60_000 * 0xFFFF),
+            min_size=2,
+            max_size=200,
+            unique=True,
+        )
+    )
+    def test_scattered_indices_are_collision_free(self, nf_name, indices):
+        nf = get_nf(nf_name)
+        rng = random.Random(1)
+        flows = [_flow_for_index(nf, i, rng) for i in indices]
+        assert len(set(flows)) == len(flows)
+
+    def test_nat_hosts_are_not_forced_odd(self):
+        nf = get_nf("nat-hash-table")
+        rng = random.Random(2)
+        hosts = {_flow_for_index(nf, i, rng).src_ip & 0xFFFFFF for i in range(64)}
+        assert any(host % 2 == 0 for host in hosts)
+
+
 class TestCDF:
     def test_median_and_percentiles(self):
         cdf = CDF(samples=list(map(float, range(1, 101))))
@@ -166,3 +207,45 @@ class TestTestbed:
         dut.reset()
         again = dut.process(workload.packets[0])
         assert again.l3_misses >= first.l3_misses  # cold caches again
+
+    @pytest.mark.parametrize("nf_name", ["nop", "lpm-patricia", "lb-hash-table"])
+    def test_reported_rate_really_is_loss_free(self, nf_name):
+        """Invariant: the loss measured *at the reported rate* is below the
+        threshold (loss is not monotone in offered rate, so the bisection
+        alone cannot guarantee this)."""
+        nf = get_nf(nf_name)
+        workload = make_unirand_workload(nf, num_packets=300)
+        config = TestbedConfig()
+        result = measure_throughput(nf, workload, config=config, replay_packets=300)
+        assert result.loss_at_max < config.loss_threshold
+        assert result.max_rate_mpps > 0
+
+    def test_loss_simulation_deque_matches_reference(self):
+        """The O(1) deque retirement must behave exactly like the old O(n)
+        list-filter implementation."""
+
+        def reference_loss(service_times_ns, rate_mpps, queue_capacity):
+            if rate_mpps <= 0:
+                return 0.0
+            interval_ns = 1000.0 / rate_mpps
+            queue_free_at = []
+            server_free_at = 0.0
+            dropped = 0
+            now = 0.0
+            for service in service_times_ns:
+                now += interval_ns
+                queue_free_at = [t for t in queue_free_at if t > now]
+                if len(queue_free_at) >= queue_capacity:
+                    dropped += 1
+                    continue
+                start = max(now, server_free_at)
+                server_free_at = start + service
+                queue_free_at.append(server_free_at)
+            return dropped / max(1, len(service_times_ns))
+
+        rng = random.Random(42)
+        service_times = [rng.uniform(100.0, 4000.0) for _ in range(500)]
+        for rate in (0.1, 0.5, 1.0, 2.5, 5.0, 10.0):
+            assert _loss_fraction_at_rate(service_times, rate, 32) == pytest.approx(
+                reference_loss(service_times, rate, 32)
+            )
