@@ -1,0 +1,218 @@
+"""Parallel portfolio / sharded-beam speedup and output-identity benchmark.
+
+Measures two things for the process-parallel subsystem (``repro.parallel``):
+
+* **speedup** — wall-clock of the 11-NF evaluation portfolio run
+  sequentially vs. fanned out over ``--workers`` processes, and of the
+  sharded beam search at ``workers=0`` vs. ``workers=N`` on a few NFs;
+* **identity** — the parallel runs must synthesize byte-identical workloads
+  (and reach equal best-state costs) to their sequential references.  The
+  process exits non-zero on any mismatch, which is what lets CI use this
+  benchmark as a regression gate.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --workers 4 --out BENCH_parallel.json
+
+or under pytest (smoke-sized identity check)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py -q
+
+The exploration budget follows ``REPRO_EVAL_SCALE`` (smoke / quick / full);
+wall-clock deadlines are disabled so runs are deterministic.  Speedup is
+hardware-dependent (a single-core container shows none); identity holds
+everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.castan import Castan, CastanResult
+from repro.core.config import CastanConfig
+from repro.core.workload import workload_digest
+from repro.eval.experiments import EVALUATION_NFS
+from repro.nf.registry import get_nf
+from repro.parallel.portfolio import PortfolioRunner
+
+_SCALE_STATES = {"smoke": 60, "quick": 250, "full": 2500}
+DEFAULT_WORKERS = 4
+#: NFs used for the (more expensive) sharded-beam comparison.
+SHARD_NFS = ("lpm-patricia", "nat-hash-table", "lb-red-black-tree")
+
+
+def _max_states() -> int:
+    scale = os.environ.get("REPRO_EVAL_SCALE", "quick").lower()
+    return _SCALE_STATES.get(scale, _SCALE_STATES["quick"])
+
+
+def _digest(result: CastanResult) -> str:
+    return workload_digest(result.packets)
+
+
+def bench_portfolio(nfs: tuple[str, ...], max_states: int, workers: int) -> dict:
+    """Sequential vs. parallel portfolio over ``nfs``: speedup + identity."""
+    config = CastanConfig(max_states=max_states, deadline_seconds=None)
+
+    start = time.perf_counter()
+    sequential = PortfolioRunner(config=config, workers=0).run(nfs)
+    wall_sequential = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = PortfolioRunner(config=config, workers=workers).run(nfs)
+    wall_parallel = time.perf_counter() - start
+
+    records = []
+    for name, seq, par in zip(nfs, sequential, parallel):
+        records.append(
+            {
+                "nf": name,
+                "digest": _digest(seq),
+                "best_state_cost": seq.best_state_cost,
+                "identical": _digest(seq) == _digest(par)
+                and seq.best_state_cost == par.best_state_cost,
+            }
+        )
+    return {
+        "workers": workers,
+        "wall_sequential_seconds": round(wall_sequential, 4),
+        "wall_parallel_seconds": round(wall_parallel, 4),
+        "speedup": round(wall_sequential / wall_parallel, 3) if wall_parallel else None,
+        "identical": all(record["identical"] for record in records),
+        "nfs": records,
+    }
+
+
+def bench_shards(nfs: tuple[str, ...], max_states: int, workers: int) -> dict:
+    """Serial vs. parallel sharded beam search per NF: speedup + identity."""
+    records = []
+    wall_serial_total = 0.0
+    wall_parallel_total = 0.0
+    for name in nfs:
+
+        def analyze(worker_count: int) -> tuple[CastanResult, float]:
+            config = CastanConfig(
+                max_states=max_states,
+                deadline_seconds=None,
+                search_mode="beam",
+                parallel_mode="shards",
+                workers=worker_count,
+            )
+            start = time.perf_counter()
+            result = Castan(config).analyze(get_nf(name))
+            return result, time.perf_counter() - start
+
+        serial, wall_serial = analyze(0)
+        parallel, wall_parallel = analyze(workers)
+        wall_serial_total += wall_serial
+        wall_parallel_total += wall_parallel
+        records.append(
+            {
+                "nf": name,
+                "digest": _digest(serial),
+                "best_state_cost": serial.best_state_cost,
+                "states_explored": serial.states_explored,
+                "search_rounds": serial.search_rounds,
+                "wall_serial_seconds": round(wall_serial, 4),
+                "wall_parallel_seconds": round(wall_parallel, 4),
+                "identical": _digest(serial) == _digest(parallel)
+                and serial.best_state_cost == parallel.best_state_cost,
+            }
+        )
+    return {
+        "workers": workers,
+        "wall_serial_seconds": round(wall_serial_total, 4),
+        "wall_parallel_seconds": round(wall_parallel_total, 4),
+        "speedup": (
+            round(wall_serial_total / wall_parallel_total, 3) if wall_parallel_total else None
+        ),
+        "identical": all(record["identical"] for record in records),
+        "nfs": records,
+    }
+
+
+def run_benchmark(
+    nfs: tuple[str, ...] = EVALUATION_NFS,
+    max_states: int | None = None,
+    workers: int = DEFAULT_WORKERS,
+    shard_nfs: tuple[str, ...] = SHARD_NFS,
+) -> dict:
+    max_states = max_states if max_states is not None else _max_states()
+
+    portfolio = bench_portfolio(nfs, max_states, workers)
+    print(
+        f"portfolio ({len(nfs)} NFs, workers={workers}): "
+        f"{portfolio['wall_sequential_seconds']:.2f}s sequential -> "
+        f"{portfolio['wall_parallel_seconds']:.2f}s parallel "
+        f"({portfolio['speedup']}x), identical={portfolio['identical']}"
+    )
+
+    shards = bench_shards(shard_nfs, max_states, workers)
+    print(
+        f"shards ({len(shard_nfs)} NFs, workers={workers}): "
+        f"{shards['wall_serial_seconds']:.2f}s serial -> "
+        f"{shards['wall_parallel_seconds']:.2f}s parallel "
+        f"({shards['speedup']}x), identical={shards['identical']}"
+    )
+
+    return {
+        "benchmark": "bench_parallel",
+        "scale": os.environ.get("REPRO_EVAL_SCALE", "quick").lower(),
+        "max_states": max_states,
+        "cpu_count": os.cpu_count(),
+        "portfolio": portfolio,
+        "shards": shards,
+        "identical": portfolio["identical"] and shards["identical"],
+    }
+
+
+# -- pytest entry point (smoke-sized identity check) ---------------------------
+
+
+def test_parallel_bench_smoke():
+    """Parallel runs stay byte-identical to sequential at smoke scale."""
+    report = run_benchmark(
+        nfs=("lpm-patricia", "nat-hash-table"),
+        max_states=40,
+        workers=2,
+        shard_nfs=("lpm-patricia",),
+    )
+    assert report["identical"]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nfs", nargs="*", default=list(EVALUATION_NFS), help="NF names to run")
+    parser.add_argument(
+        "--shard-nfs", nargs="*", default=list(SHARD_NFS), help="NFs for the shard comparison"
+    )
+    parser.add_argument("--max-states", type=int, default=None, help="override exploration budget")
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS, help="worker processes")
+    parser.add_argument("--out", default=None, help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        tuple(args.nfs), args.max_states, args.workers, tuple(args.shard_nfs)
+    )
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    if not report["identical"]:
+        print("FAIL: parallel output diverged from the sequential reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

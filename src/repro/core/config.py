@@ -39,6 +39,17 @@ class CastanConfig:
     round_max_states: int | None = None
     round_deadline_seconds: float | None = None
     strike_chunk_states: int = 32
+    # Parallel execution (repro.parallel).  "off" runs everything in-process;
+    # "portfolio" marks a config whose multi-NF suite should fan out over
+    # worker processes (consumed by PortfolioRunner, a no-op for a single
+    # analyze() call); "shards" runs the beam scheduler's rounds as hermetic
+    # shards that execute on up to `workers` processes (requires
+    # search_mode="beam").  The shard schedule never depends on `workers`,
+    # so changing the worker count never changes the synthesized workload.
+    parallel_mode: str = "off"
+    workers: int = 0
+    # Number of shards a strike chunk is striped over (None = beam_width).
+    strike_shards: int | None = None
     # Searcher: "castan", "dfs", "bfs" or "random" (ablation).
     searcher: str = "castan"
     # Cache model: "contention" (default), "none" (ablation).

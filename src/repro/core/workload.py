@@ -8,7 +8,9 @@ five symbols (the IPv4 five-tuple).  After the highest-cost state is solved
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.net.packet import Packet, PacketField
 from repro.symbex.expr import Expr, Sym
@@ -72,6 +74,17 @@ def symbol_defaults(
                 base = (base + packet_set.index) & field.mask
             defaults[name] = base & field.mask
     return defaults
+
+
+def workload_digest(packets: Sequence[Packet]) -> str:
+    """SHA-256 over the concatenated on-wire bytes of a workload.
+
+    This is *the* definition of "byte-identical" used by the parallel
+    identity checks (``benchmarks/bench_parallel.py``, ``tests``) and the
+    ``bench-regression`` CI digest gate (``benchmarks/bench_digests.py``).
+    """
+    payload = b"".join(packet.to_bytes() for packet in packets)
+    return hashlib.sha256(payload).hexdigest()
 
 
 def packets_from_model(

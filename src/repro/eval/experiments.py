@@ -7,7 +7,14 @@ once, no matter how many tables reference the same numbers.
 Scaling: the defaults in :class:`EvalSettings` are sized for laptop runs
 (seconds per NF).  Set the environment variable ``REPRO_EVAL_SCALE=full``
 for larger workloads and exploration budgets closer to the paper's, or
-``REPRO_EVAL_SCALE=smoke`` for CI-sized runs.
+``REPRO_EVAL_SCALE=smoke`` for CI-sized runs.  ``REPRO_WORKERS=N`` (N > 1)
+fans the per-NF CASTAN analyses out over N worker processes
+(:class:`repro.parallel.portfolio.PortfolioRunner`); results are merged in
+registry order.  Per-NF analyses are deterministic, so parallel results are
+identical to sequential ones *as long as no analysis hits its wall-clock
+deadline* — on an oversubscribed machine a deadline-truncated search can
+explore fewer states under contention.  (The identity benchmarks and the
+CI digest gate disable the deadline entirely for this reason.)
 """
 
 from __future__ import annotations
@@ -60,6 +67,8 @@ class EvalSettings:
     # per-packet round scheduler; see repro.symbex.batch.
     castan_search_mode: str = "monolithic"
     castan_beam_width: int = 3
+    # Worker processes for the CASTAN portfolio (0/1 = sequential).
+    workers: int = 0
     replay_packets: int = 1200
     zipfian_packets: int = 1600
     zipfian_flows: int = 110
@@ -70,6 +79,17 @@ class EvalSettings:
     def from_environment(cls) -> "EvalSettings":
         scale = os.environ.get("REPRO_EVAL_SCALE", "quick").lower()
         search_mode = os.environ.get("REPRO_SEARCH_MODE", "monolithic").lower()
+        workers_raw = os.environ.get("REPRO_WORKERS", "0")
+        try:
+            workers = max(0, int(workers_raw))
+        except ValueError:
+            warnings.warn(
+                f"unrecognized REPRO_WORKERS={workers_raw!r}; falling back to 0 "
+                "(expected a worker-process count)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 0
         if scale not in ("quick", "full", "smoke"):
             warnings.warn(
                 f"unrecognized REPRO_EVAL_SCALE={scale!r}; falling back to 'quick' "
@@ -84,6 +104,7 @@ class EvalSettings:
                 castan_deadline_seconds=120.0,
                 castan_num_packets=None,  # per-NF paper-sized packet counts
                 castan_search_mode=search_mode,
+                workers=workers,
                 replay_packets=6000,
                 zipfian_packets=8000,
                 zipfian_flows=540,
@@ -96,13 +117,14 @@ class EvalSettings:
                 castan_deadline_seconds=4.0,
                 castan_num_packets=5,
                 castan_search_mode=search_mode,
+                workers=workers,
                 replay_packets=300,
                 zipfian_packets=400,
                 zipfian_flows=40,
                 unirand_packets=400,
                 throughput_replay_packets=200,
             )
-        return cls(castan_search_mode=search_mode)
+        return cls(castan_search_mode=search_mode, workers=workers)
 
 
 SETTINGS = EvalSettings.from_environment()
@@ -115,17 +137,38 @@ def nf_instance(name: str) -> NetworkFunction:
     return get_nf(name)
 
 
-@lru_cache(maxsize=None)
-def castan_result(name: str) -> CastanResult:
-    """Run CASTAN once per NF and cache the synthesized workload."""
-    config = CastanConfig(
+def _castan_config() -> CastanConfig:
+    return CastanConfig(
         max_states=SETTINGS.castan_max_states,
         deadline_seconds=SETTINGS.castan_deadline_seconds,
         num_packets=SETTINGS.castan_num_packets,
         search_mode=SETTINGS.castan_search_mode,
         beam_width=SETTINGS.castan_beam_width,
+        parallel_mode="portfolio" if SETTINGS.workers > 1 else "off",
+        workers=SETTINGS.workers,
     )
-    return Castan(config).analyze(nf_instance(name))
+
+
+@lru_cache(maxsize=None)
+def _portfolio_results() -> dict[str, CastanResult]:
+    """The whole evaluation suite, analysed across REPRO_WORKERS processes."""
+    from repro.parallel.portfolio import PortfolioRunner
+
+    runner = PortfolioRunner(config=_castan_config(), workers=SETTINGS.workers)
+    return runner.run_map(EVALUATION_NFS)
+
+
+@lru_cache(maxsize=None)
+def castan_result(name: str) -> CastanResult:
+    """Run CASTAN once per NF and cache the synthesized workload.
+
+    With ``REPRO_WORKERS > 1`` the first evaluation-suite lookup analyses
+    all 11 NFs in one parallel portfolio run and serves every later lookup
+    from that cache; other NFs (and the sequential default) run in-process.
+    """
+    if SETTINGS.workers > 1 and name in EVALUATION_NFS:
+        return _portfolio_results()[name]
+    return Castan(_castan_config()).analyze(nf_instance(name))
 
 
 @lru_cache(maxsize=None)

@@ -1,0 +1,30 @@
+"""Worker-pool construction shared by the parallel orchestrators."""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+#: Start-method preference: ``fork`` keeps worker start-up cheap and lets
+#: workers inherit the parent's interned-expression and memo tables (both
+#: are pure caches, so inheriting them is sound and saves re-derivation);
+#: platforms without ``fork`` fall back to ``spawn``, where the compact
+#: pickle path rebuilds everything on load.
+_START_METHODS = ("fork", "spawn")
+
+
+def make_pool(workers: int) -> ProcessPoolExecutor | None:
+    """A process pool with ``workers`` workers, or ``None`` for ``workers<=1``.
+
+    ``None`` signals the caller to execute its task list serially in-process
+    through the *same* task functions, which is what keeps serial and
+    parallel runs byte-identical.
+    """
+    if workers <= 1:
+        return None
+    context = None
+    for method in _START_METHODS:
+        if method in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context(method)
+            break
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)

@@ -1,0 +1,288 @@
+"""Sharded per-packet beam search: one NF's rounds across worker processes.
+
+PR 2's beam scheduler (:mod:`repro.symbex.batch`) already decomposed
+synthesis into resumable per-packet rounds; this module decomposes each
+round into *shards* — hermetic ``SymbolicEngine.run`` calls that can execute
+in worker processes:
+
+* every **priming-round beam branch** is one shard: the K frontier states
+  selected by :func:`~repro.symbex.searcher.select_beam` each explore their
+  next packet independently under the slim priming budget;
+* every **strike-round chunk** stripes its frontier over a fixed number of
+  shards (``strike_shards``, default ``beam_width``), each spending the
+  chunk budget on the final packet.
+
+Two properties make ``workers=N`` byte-identical to ``workers=0``:
+
+1. the shard *schedule* (how states are grouped, budgeted and seeded) is a
+   pure function of the configuration — ``workers`` only chooses how many
+   shards run concurrently;
+2. every shard is *hermetic*: it gets a deterministic state-id base (so
+   forked states and havoc symbols get the same names wherever the shard
+   runs), a freshly seeded searcher, and budgets fixed before the round
+   starts.  Shard results are merged in shard order, and the next round's
+   seeds are re-selected by the same ``select_beam`` ordering, so worker
+   completion order cannot leak into the output.
+
+States cross the process boundary through the compact pickle path:
+expressions re-intern on load, and each
+:class:`~repro.symbex.incremental.SolverContext` re-fingerprints its
+constraint chain against the destination process's tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.parallel.pool import make_pool
+from repro.symbex.batch import RoundStats, _best_key, _truncate_report
+from repro.symbex.engine import SymbexStats, SymbolicEngine
+from repro.symbex.searcher import make_searcher, select_beam
+from repro.symbex.state import ExecutionState
+
+#: Distance between the state-id bases of consecutive shards.  Each shard
+#: run rebases the process-global state-id counter so fork order inside the
+#: shard — not which process the shard landed in — determines state ids (and
+#: therefore havoc-symbol names and beam tie-breaks).  The stride just has
+#: to exceed any single shard's state budget.
+SID_STRIDE = 1 << 20
+
+
+def run_shard(
+    engine: SymbolicEngine,
+    seeds: list[ExecutionState],
+    searcher_name: str,
+    searcher_seed: int | None,
+    sid_base: int,
+    max_states: int | None,
+    deadline_seconds: float | None,
+    max_instructions_per_state: int,
+    stop_at_packet: int | None,
+) -> SymbexStats:
+    """Execute one hermetic shard (worker entry point, also run in-process).
+
+    Rebasing ``ExecutionState._ids`` is what makes the shard hermetic: state
+    ids minted here depend only on ``sid_base`` and the (deterministic) fork
+    order, never on process history.
+    """
+    ExecutionState._ids = itertools.count(sid_base)
+    searcher = make_searcher(searcher_name, seed=searcher_seed)
+    return engine.run(
+        searcher,
+        max_states=max_states,
+        deadline_seconds=deadline_seconds,
+        max_instructions_per_state=max_instructions_per_state,
+        # Shard frontiers are live search state: never truncate mid-search.
+        max_pending_report=None,
+        initial_states=seeds,
+        stop_at_packet=stop_at_packet,
+    )
+
+
+def _stripe(states: list[ExecutionState], shard_count: int) -> list[list[ExecutionState]]:
+    """Deal ``states`` round-robin into at most ``shard_count`` groups.
+
+    States are first ranked by the ``select_beam`` ordering so each shard
+    receives a comparable mix of promising and speculative states; the
+    grouping is a pure function of the ranked list.
+    """
+    ranked = select_beam(states, len(states))
+    groups = [ranked[offset::shard_count] for offset in range(shard_count)]
+    return [group for group in groups if group]
+
+
+def run_sharded_beam_search(
+    engine: SymbolicEngine,
+    searcher_name: str,
+    searcher_seed: int | None,
+    beam_width: int,
+    workers: int = 0,
+    max_states: int | None = None,
+    deadline_seconds: float | None = None,
+    max_instructions_per_state: int = 100_000,
+    round_max_states: int | None = None,
+    round_deadline_seconds: float | None = None,
+    strike_chunk_states: int = 32,
+    strike_shards: int | None = None,
+    max_pending_report: int | None = 512,
+) -> SymbexStats:
+    """Per-packet beam search with rounds decomposed into parallel shards.
+
+    Budget semantics differ from the sequential scheduler in one documented
+    way: priming (``round_max_states``) and strike-chunk
+    (``strike_chunk_states``) budgets are *per shard*, since shards cannot
+    share a searcher.  ``max_states`` remains a global cap — per-shard caps
+    are clamped to the budget remaining before each round, so one round may
+    overshoot it by at most ``shards - 1`` shard budgets.
+    """
+    num_packets = len(engine.packet_args)
+    if beam_width <= 0 or num_packets == 0:
+        return engine.run(
+            make_searcher(searcher_name, seed=searcher_seed),
+            max_states=max_states,
+            deadline_seconds=deadline_seconds,
+            max_instructions_per_state=max_instructions_per_state,
+            max_pending_report=max_pending_report,
+        )
+
+    prime_budget = round_max_states if round_max_states is not None else beam_width + 1
+    shard_count = max(1, strike_shards if strike_shards is not None else beam_width)
+    total = SymbexStats()
+    start = time.monotonic()
+    best: ExecutionState | None = None
+    shard_serial = itertools.count(1)
+    last_paused: list[ExecutionState] = []
+    last_pending: list[ExecutionState] = []
+    rounds_ran = 0
+
+    def remaining_budget() -> int | None:
+        if max_states is None:
+            return None
+        return max_states - total.states_explored
+
+    def call_deadline() -> float | None:
+        if deadline_seconds is None:
+            return round_deadline_seconds
+        left = deadline_seconds - (time.monotonic() - start)
+        if round_deadline_seconds is None:
+            return left
+        return min(round_deadline_seconds, left)
+
+    def out_of_budget() -> bool:
+        remaining = remaining_budget()
+        if remaining is not None and remaining <= 0:
+            return True
+        deadline = call_deadline()
+        return deadline is not None and deadline <= 0
+
+    pool = make_pool(workers)
+    try:
+        # Rebase the id counter before the initial state so the whole
+        # schedule starts from state id 0 no matter what ran earlier in this
+        # process (shard bases are all >= SID_STRIDE, so they never collide
+        # with seed ids).
+        ExecutionState._ids = itertools.count(0)
+        seeds = [engine.make_initial_state()]
+
+        def run_round(
+            groups: list[list[ExecutionState]],
+            stop_at_packet: int,
+            budget_cap: int | None,
+            phase: str,
+        ) -> tuple[list[SymbexStats], list[ExecutionState]]:
+            nonlocal best, last_paused, last_pending, rounds_ran
+            # Fix every shard's budget *before* the round: serial execution
+            # must not see budget updates between shards that parallel
+            # execution could not.
+            remaining = remaining_budget()
+            if budget_cap is None:
+                cap = remaining
+            elif remaining is None:
+                cap = budget_cap
+            else:
+                cap = min(budget_cap, remaining)
+            deadline = call_deadline()
+            jobs = [(next(shard_serial) * SID_STRIDE, group) for group in groups]
+            args = [
+                (
+                    engine,
+                    group,
+                    searcher_name,
+                    searcher_seed,
+                    sid_base,
+                    cap,
+                    deadline,
+                    max_instructions_per_state,
+                    stop_at_packet,
+                )
+                for sid_base, group in jobs
+            ]
+            if pool is None:
+                shard_stats = [run_shard(*task) for task in args]
+            else:
+                futures = [pool.submit(run_shard, *task) for task in args]
+                # Deterministic merge: collect in shard order, not in
+                # completion order.
+                shard_stats = [future.result() for future in futures]
+            frontier: list[ExecutionState] = []
+            last_paused = []
+            last_pending = []
+            for (sid_base, group), stats in zip(jobs, shard_stats):
+                total.merge_round(stats)
+                for state in stats.completed_states:
+                    if best is None or _best_key(state) > _best_key(best):
+                        best = state
+                frontier.extend(stats.paused_states)
+                frontier.extend(stats.pending_states)
+                last_paused.extend(stats.paused_states)
+                last_pending.extend(stats.pending_states)
+                reported = stats.paused_states + stats.pending_states + stats.completed_states
+                round_best = max((s.current_cost for s in reported), default=0)
+                total.rounds.append(
+                    RoundStats(
+                        packet_index=min(stop_at_packet, num_packets) - 1,
+                        phase=phase,
+                        seeds=len(group),
+                        states_explored=stats.states_explored,
+                        forks=stats.forks,
+                        paused=len(stats.paused_states),
+                        pending=len(stats.pending_states),
+                        completed=len(stats.completed_states),
+                        infeasible=stats.infeasible_states,
+                        errors=stats.error_states,
+                        best_cost=round_best,
+                        wall_time_seconds=stats.wall_time_seconds,
+                    )
+                )
+            rounds_ran += 1
+            return shard_stats, frontier
+
+        # -- priming rounds: one shard per beam branch ------------------------
+        frontier = seeds
+        for packet_index in range(num_packets - 1):
+            if out_of_budget():
+                break
+            beam = select_beam(frontier, beam_width)
+            _, frontier = run_round(
+                [[state] for state in beam],
+                packet_index + 1,
+                prime_budget,
+                "prime",
+            )
+            if not frontier:
+                break
+
+        # -- strike round: chunks of the final packet, striped over shards ----
+        if frontier:
+            chunk_seeds = select_beam(frontier, beam_width)
+            while not out_of_budget():
+                before = best
+                shard_stats, frontier = run_round(
+                    _stripe(chunk_seeds, shard_count),
+                    num_packets,
+                    strike_chunk_states,
+                    "strike",
+                )
+                if not frontier:
+                    break
+                if any(stats.completed_states for stats in shard_stats) and best is before:
+                    # Paths are completing but none beats the best seen: the
+                    # strike has converged; spend no more of the budget.
+                    break
+                # Chunks carry the whole frontier, like the sequential
+                # scheduler's strike.
+                chunk_seeds = frontier
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    if rounds_ran:
+        total.paused_states = list(last_paused)
+        total.pending_states = _truncate_report(last_pending, max_pending_report)
+    else:
+        # Budget/deadline exhausted before any round ran: report the seed
+        # frontier so the caller can still fall back to a partial state.
+        total.pending_states = list(seeds)
+    total.wall_time_seconds = time.monotonic() - start
+    return total

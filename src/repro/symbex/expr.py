@@ -34,6 +34,12 @@ class Expr:
 
     Subclasses intern their instances in ``__new__``; identity equality and
     hashing (inherited from ``object``) are therefore structural.
+
+    Pickling goes through each subclass's ``__reduce__``, which rebuilds the
+    node via the interning constructor: a round-trip within one process
+    returns the *same* interned object, and a cross-process round-trip (the
+    parallel shard workers) re-interns the whole tree so identity equality
+    holds in the destination process too.
     """
 
     __slots__ = ("symbols", "symbol_names", "depth", "_simplified")
@@ -72,6 +78,9 @@ class Const(Expr):
             cls._intern[value] = cached
         return cached
 
+    def __reduce__(self):
+        return (Const, (self.value,))
+
     def __repr__(self) -> str:
         return f"Const(value={self.value})"
 
@@ -104,6 +113,9 @@ class Sym(Expr):
     def mask(self) -> int:
         return (1 << self.bits) - 1
 
+    def __reduce__(self):
+        return (Sym, (self.name, self.bits))
+
     def __repr__(self) -> str:
         return f"Sym(name={self.name!r}, bits={self.bits})"
 
@@ -133,6 +145,9 @@ class BinExpr(Expr):
             cls._intern[key] = cached
         return cached
 
+    def __reduce__(self):
+        return (BinExpr, (self.op, self.lhs, self.rhs))
+
     def __repr__(self) -> str:
         return f"BinExpr(op={self.op!r}, lhs={self.lhs!r}, rhs={self.rhs!r})"
 
@@ -161,6 +176,9 @@ class CmpExpr(Expr):
             cached._simplified = None
             cls._intern[key] = cached
         return cached
+
+    def __reduce__(self):
+        return (CmpExpr, (self.pred, self.lhs, self.rhs))
 
     def __repr__(self) -> str:
         return f"CmpExpr(pred={self.pred!r}, lhs={self.lhs!r}, rhs={self.rhs!r})"
@@ -192,6 +210,9 @@ class SelectExpr(Expr):
             cached._simplified = None
             cls._intern[key] = cached
         return cached
+
+    def __reduce__(self):
+        return (SelectExpr, (self.cond, self.if_true, self.if_false))
 
     def __repr__(self) -> str:
         return (
