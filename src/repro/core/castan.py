@@ -14,6 +14,21 @@ Given a :class:`~repro.nf.base.NetworkFunction`, an analysis run:
 4. picks the highest-cost state, solves its path constraint, reconciles
    havocs with rainbow tables, and materialises N concrete packets plus the
    per-path CPU-model metrics.
+
+A minimal run (tiny budgets; see :class:`~repro.core.config.CastanConfig`
+for the real knobs):
+
+>>> from repro.core.castan import Castan
+>>> from repro.core.config import CastanConfig
+>>> from repro.nf.registry import get_nf
+>>> config = CastanConfig(max_states=40, num_packets=2, deadline_seconds=None)
+>>> result = Castan(config).analyze(get_nf("lpm-patricia"))
+>>> result.packet_count
+2
+>>> result.best_state_cost > 0
+True
+>>> result.summary().startswith("CASTAN[lpm-patricia]")
+True
 """
 
 from __future__ import annotations

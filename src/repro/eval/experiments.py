@@ -40,7 +40,9 @@ from repro.workloads.generators import (
     make_zipfian_workload,
 )
 
-#: The 11 NFs of the paper's evaluation, in the column order of Tables 1-3.
+#: The 15 evaluation NFs: the paper's 11 (in the column order of Tables
+#: 1-3) followed by the four scenario-expansion NFs (firewall, policer,
+#: dedup, DPI).
 EVALUATION_NFS: tuple[str, ...] = (
     "lpm-direct",
     "lpm-dpdk",
@@ -53,6 +55,10 @@ EVALUATION_NFS: tuple[str, ...] = (
     "lb-hash-table",
     "nat-hash-ring",
     "lb-hash-ring",
+    "fw-conntrack",
+    "policer-two-choice",
+    "dedup-bloom",
+    "dpi-trie",
 )
 
 
@@ -163,7 +169,7 @@ def castan_result(name: str) -> CastanResult:
     """Run CASTAN once per NF and cache the synthesized workload.
 
     With ``REPRO_WORKERS > 1`` the first evaluation-suite lookup analyses
-    all 11 NFs in one parallel portfolio run and serves every later lookup
+    all 15 NFs in one parallel portfolio run and serves every later lookup
     from that cache; other NFs (and the sequential default) run in-process.
     """
     if SETTINGS.workers > 1 and name in EVALUATION_NFS:

@@ -60,6 +60,33 @@ LB_BACKENDS = 16
 # NAT external port allocation starts here.
 NAT_FIRST_EXTERNAL_PORT = 20000
 
+# Stateful firewall: connection-tracking ring buffer.  128 slots keep the
+# symbolic scans tractable while being small enough that a few hundred
+# distinct flows fill the ring on the testbed; fixed per-connection TTL in
+# clock ticks (one tick per processed packet).
+FIREWALL_SLOTS = 128
+FIREWALL_TTL_TICKS = 512
+
+# Token-bucket policer: two-choice (cuckoo-style) hash tables.  Like the
+# hash ring, each table keeps one cache-line-sized key entry per slot and
+# spans the full 16-bit hash range, so the two tables together dwarf the
+# simulated L3 and give the cache model real contention sets to target.
+POLICER_SLOTS = 65536  # per table; power of two (slot = hash & (SLOTS - 1))
+POLICER_KEY_ENTRY_BYTES = 64
+POLICER_BURST = 4  # bucket capacity in tokens
+POLICER_REFILL_TICKS = 4  # clock ticks to earn one token
+POLICER_MAX_KICKS = 4  # relocation-cascade bound per insertion
+
+# Bloom-filter dedup: bit-array size (one 8-byte word per bit keeps the
+# dialect simple) and exact-store capacity for slow-path verification.
+BLOOM_BITS = 1024
+DEDUP_MAX_FINGERPRINTS = 2048
+
+# DPI pattern trie: node pool, children per node, pseudo-payload depth.
+DPI_MAX_NODES = 256
+DPI_FANOUT = 4
+DPI_DEPTH = 8
+
 
 # -- the routing table used by every LPM NF (§5.1) --------------------------------
 
@@ -169,6 +196,32 @@ def nat_workload_hints() -> dict[str, int]:
     """Generated NAT traffic must come from the internal network."""
     return {"src_ip_prefix": INTERNAL_PREFIX_OCTET << 24, "src_ip_prefix_bits": 8,
             "protocol": int(IPProtocol.UDP)}
+
+
+def firewall_packet_defaults() -> dict[str, int]:
+    """The firewall tracks outbound (internal → external) connections, so it
+    shares the NAT's internal-source defaults."""
+    return nat_packet_defaults()
+
+
+def firewall_workload_hints() -> dict[str, int]:
+    """Generated firewall traffic is outbound, like the NAT's."""
+    return nat_workload_hints()
+
+
+def middlebox_packet_defaults() -> dict[str, int]:
+    """Defaults for the transparent middleboxes (policer, dedup, DPI).
+
+    Any L4 traffic is interesting, so no field is *semantically* required
+    (unlike the LB's VIP or the NAT's internal prefix) — these are just the
+    fallback values unconstrained packet-field symbols materialise as."""
+    return {
+        "src_ip": 0x0B000001,
+        "dst_ip": EXTERNAL_SERVER,
+        "src_port": 10000,
+        "dst_port": DEFAULT_SERVICE_PORT,
+        "protocol": int(IPProtocol.UDP),
+    }
 
 
 def make_flow_packet(

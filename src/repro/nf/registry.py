@@ -2,20 +2,44 @@
 
 ``get_nf(name)`` builds a fresh :class:`~repro.nf.base.NetworkFunction`
 (each call compiles a new module, so callers can mutate state freely).
-The names mirror the paper's Table 4 rows plus the NOP baseline.
+The names cover the paper's Table 4 rows (LPM / LB / NAT variants), the
+four scenario-expansion NFs (firewall, policer, dedup, DPI — 15 evaluation
+NFs in total) and the NOP baseline.
+
+>>> from repro.nf.registry import EVALUATION_NF_NAMES, NF_NAMES, get_nf
+>>> len(NF_NAMES)
+16
+>>> len(EVALUATION_NF_NAMES)  # without the NOP baseline
+15
+>>> get_nf("lpm-patricia").nf_class
+'lpm'
+>>> get_nf("fw-conntrack").data_structure
+'ring-buffer'
+
+Unknown names raise a ``KeyError`` that suggests close matches:
+
+>>> get_nf("lpm-patrica")
+Traceback (most recent call last):
+    ...
+KeyError: "unknown NF 'lpm-patrica'; did you mean 'lpm-patricia'?"
 """
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable
 
 from repro.nf.base import NetworkFunction
+from repro.nf.dedup import build_dedup
+from repro.nf.dpi import build_dpi
+from repro.nf.firewall import build_firewall
 from repro.nf.lb import build_lb
 from repro.nf.lpm_direct import build_lpm_direct
 from repro.nf.lpm_dpdk import build_lpm_dpdk
 from repro.nf.lpm_patricia import build_lpm_patricia
 from repro.nf.nat import build_nat
 from repro.nf.nop import build_nop
+from repro.nf.policer import build_policer
 
 _BUILDERS: dict[str, Callable[[], NetworkFunction]] = {
     "nop": build_nop,
@@ -30,12 +54,17 @@ _BUILDERS: dict[str, Callable[[], NetworkFunction]] = {
     "nat-hash-ring": lambda: build_nat("hash-ring"),
     "nat-unbalanced-tree": lambda: build_nat("unbalanced-tree"),
     "nat-red-black-tree": lambda: build_nat("red-black-tree"),
+    "fw-conntrack": build_firewall,
+    "policer-two-choice": build_policer,
+    "dedup-bloom": build_dedup,
+    "dpi-trie": build_dpi,
 }
 
-#: Every NF of the paper's evaluation (11 NFs) plus the NOP baseline.
+#: Every evaluation NF (15) plus the NOP baseline.
 NF_NAMES: tuple[str, ...] = tuple(_BUILDERS)
 
-#: The 11 NFs of Tables 1-5 (without the NOP baseline).
+#: The 15 evaluation NFs (without the NOP baseline): the paper's 11
+#: Table 1-5 NFs plus the firewall / policer / dedup / DPI scenarios.
 EVALUATION_NF_NAMES: tuple[str, ...] = tuple(n for n in NF_NAMES if n != "nop")
 
 
@@ -49,7 +78,11 @@ def get_nf(name: str) -> NetworkFunction:
     try:
         builder = _BUILDERS[name]
     except KeyError:
-        raise KeyError(
-            f"unknown NF {name!r}; available: {', '.join(NF_NAMES)}"
-        ) from None
+        suggestions = difflib.get_close_matches(name, NF_NAMES, n=3, cutoff=0.6)
+        if suggestions:
+            hint = " or ".join(repr(s) for s in suggestions)
+            message = f"unknown NF {name!r}; did you mean {hint}?"
+        else:
+            message = f"unknown NF {name!r}; available: {', '.join(NF_NAMES)}"
+        raise KeyError(message) from None
     return builder()

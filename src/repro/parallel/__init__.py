@@ -4,7 +4,7 @@ Two independent axes of parallelism, selected by
 :attr:`repro.core.config.CastanConfig.parallel_mode`:
 
 * ``"portfolio"`` — :class:`~repro.parallel.portfolio.PortfolioRunner` fans a
-  *set of NFs* (the paper's 11-NF evaluation suite) out over worker
+  *set of NFs* (the 15-NF evaluation suite) out over worker
   processes, one full ``Castan`` analysis per task, and merges the results
   back in registry order.  Per-NF analyses are deterministic and
   independent, so the merged output is byte-identical to a sequential run.

@@ -1,6 +1,6 @@
 """Portfolio analysis: the multi-NF evaluation suite over worker processes.
 
-CASTAN's evaluation analyses 11 NFs end-to-end; each analysis is an
+CASTAN's evaluation analyses 15 NFs end-to-end; each analysis is an
 independent, deterministic pipeline (ICFG annotation, cache-model
 construction, symbolic search, solving, havoc reconciliation), so the
 portfolio is embarrassingly parallel.  :class:`PortfolioRunner` fans the

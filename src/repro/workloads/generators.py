@@ -10,6 +10,19 @@ The scaled default sizes keep replay times in seconds: the paper's Zipfian
 workload has 100,005 packets in 6,674 flows and UniRand has ~1M packets in
 ~1M flows; the defaults here preserve the packets-per-flow ratios at a few
 thousand packets.
+
+Every generator maps flow indices through :func:`_flow_for_index`, which is
+injective per NF — "unirand" really does mean one flow per packet:
+
+>>> from repro.nf.registry import get_nf
+>>> from repro.workloads.generators import make_unirand_workload
+>>> workload = make_unirand_workload(get_nf("fw-conntrack"), num_packets=50)
+>>> (workload.packet_count, workload.flow_count)
+(50, 50)
+>>> all(p.src_ip >> 24 == 10 for p in workload.packets)  # outbound hint
+True
+>>> make_unirand_workload(get_nf("dpi-trie"), num_packets=40).flow_count
+40
 """
 
 from __future__ import annotations

@@ -1,5 +1,7 @@
-"""Tests for the 12 evaluation NFs: compilation, functional correctness
-against reference models, and state behaviour across packets."""
+"""Tests for the registry's 16 NFs: compilation, functional correctness
+against reference models, and state behaviour across packets.  The four
+scenario-expansion NFs (firewall, policer, dedup, DPI) have their own
+behavioural suite in ``tests/test_new_nfs.py``."""
 
 import random
 
@@ -46,13 +48,23 @@ def nat_packet(i, dport=80):
 
 
 class TestRegistry:
-    def test_twelve_nfs_available(self):
-        assert len(available_nfs()) == 12
-        assert len(EVALUATION_NF_NAMES) == 11  # without the NOP baseline
+    def test_sixteen_nfs_available(self):
+        assert len(available_nfs()) == 16
+        assert len(EVALUATION_NF_NAMES) == 15  # without the NOP baseline
 
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError):
-            get_nf("firewall")
+            get_nf("no-such-nf")
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(KeyError, match="did you mean 'lpm-patricia'"):
+            get_nf("lpm-patrica")
+        with pytest.raises(KeyError, match="did you mean 'fw-conntrack'"):
+            get_nf("fw-contrack")
+
+    def test_unknown_name_without_close_match_lists_options(self):
+        with pytest.raises(KeyError, match="available: nop, lpm-patricia"):
+            get_nf("zzzzz")
 
     @pytest.mark.parametrize("name", NF_NAMES)
     def test_every_nf_compiles_and_verifies(self, name):

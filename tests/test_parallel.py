@@ -28,7 +28,15 @@ from repro.symbex.incremental import SolverContext
 from repro.symbex.searcher import make_searcher
 from repro.symbex.solver import Solver
 
-DIFFERENTIAL_NFS = ("lpm-patricia", "nat-hash-table", "lb-red-black-tree")
+DIFFERENTIAL_NFS = (
+    "lpm-patricia",
+    "nat-hash-table",
+    "lb-red-black-tree",
+    "fw-conntrack",
+    "policer-two-choice",
+    "dedup-bloom",
+    "dpi-trie",
+)
 
 
 def _digest(result) -> str:

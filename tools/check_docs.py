@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Documentation consistency check (the ``docs-check`` CI step).
+
+Three classes of rot are caught:
+
+1. **Broken links/references** — every relative markdown link target and
+   every backtick reference to a repo path (``src/...``, ``docs/...``,
+   ``benchmarks/...``, ``tests/...``, ``tools/...``, ``examples/...``)
+   in ``README.md``, ``docs/*.md`` and ``ROADMAP.md`` must exist.
+2. **Stale NF counts** — any "<N> evaluation NFs" / "<N>-NF" phrase must
+   match ``len(EVALUATION_NF_NAMES)`` (this is exactly the staleness the
+   docs satellite of PR 4 had to clean up).
+3. **Gallery completeness** — every registered NF name must appear in the
+   README's gallery table.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Backtick references with one of these top-level prefixes must exist.
+PATH_PREFIXES = ("src/", "docs/", "benchmarks/", "tests/", "tools/", "examples/")
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)[^)]*\)")
+BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_./-]+)`")
+NF_COUNT_CLAIM = re.compile(r"(\d+)(?:-NF\b|\s+evaluation\s+NFs)")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md", REPO / "ROADMAP.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    problems = []
+    for target in MARKDOWN_LINK.findall(text):
+        if "://" in target or target.startswith("mailto:"):
+            continue  # external URLs are not checked (offline CI)
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.name}: broken link target {target!r}")
+    for ref in BACKTICK_PATH.findall(text):
+        if ref.startswith(PATH_PREFIXES) and not ref.endswith("/"):
+            if not (REPO / ref).exists():
+                problems.append(f"{path.name}: referenced path {ref!r} does not exist")
+    return problems
+
+
+#: Phrases that legitimise an 11-NF claim: either it describes the paper's
+#: own Table 4 suite, or it is an explicitly historicised PR note.  Kept to
+#: rare multi-word phrases so common words cannot accidentally exempt a
+#: genuinely stale claim.
+HISTORICAL_MARKERS = ("paper", "at the time", "since pr")
+
+
+def check_nf_counts(path: Path, text: str, expected: int) -> list[str]:
+    problems = []
+    for match in NF_COUNT_CLAIM.finditer(text):
+        claimed = int(match.group(1))
+        if claimed not in (expected, 11):  # 11 = the paper's own Table 4 rows
+            problems.append(
+                f"{path.name}: claims {claimed} NFs but the registry has {expected} "
+                f"(context: {match.group(0)!r})"
+            )
+        window = text[max(0, match.start() - 120) : match.end() + 120].lower()
+        if claimed == 11 and not any(marker in window for marker in HISTORICAL_MARKERS):
+            problems.append(
+                f"{path.name}: bare '11 NFs' claim without paper/historical context "
+                f"looks stale (registry has {expected})"
+            )
+    return problems
+
+
+def check_gallery(readme: str, names: tuple[str, ...]) -> list[str]:
+    return [
+        f"README.md: NF {name!r} missing from the gallery table"
+        for name in names
+        if f"`{name}`" not in readme
+    ]
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.nf.registry import EVALUATION_NF_NAMES, NF_NAMES
+
+    problems: list[str] = []
+    for path in doc_files():
+        text = path.read_text()
+        problems += check_links(path, text)
+        problems += check_nf_counts(path, text, len(EVALUATION_NF_NAMES))
+    problems += check_gallery((REPO / "README.md").read_text(), NF_NAMES)
+
+    if problems:
+        print("docs-check found problems:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"docs-check ok: {len(doc_files())} files, {len(NF_NAMES)} NFs in gallery")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
