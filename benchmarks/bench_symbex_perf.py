@@ -1,18 +1,28 @@
-"""Symbolic-execution hot-loop performance benchmark.
+"""Symbolic-execution hot-loop performance benchmark (trajectory-keeping).
 
-Measures, for full ``Castan`` runs on the LPM-patricia pipeline and the
-hash-based NFs: states explored per second, solver queries per second, the
-number of *full-list* propagation passes (a ``Solver.check`` /
-``Solver.quick_feasible`` call re-simplifies and re-propagates the whole
-path constraint list from scratch), and wall time.  When the incremental
-subsystem (``repro.symbex.incremental``) is present its query counters are
-reported alongside, so the monolithic-vs-incremental split is visible.
+Measures, for full ``Castan`` runs over the evaluation NFs: states explored
+per second, solver queries per second, the number of *full-list*
+propagation passes (a ``Solver.check`` / ``Solver.quick_feasible`` call
+re-simplifies and re-propagates the whole path constraint list from
+scratch), and wall time.  When the incremental subsystem
+(``repro.symbex.incremental``) is present its query counters are reported
+alongside, so the monolithic-vs-incremental split is visible.
 
-Run standalone to (re)generate the ``BENCH_symbex.json`` trajectory file::
+``BENCH_symbex.json`` holds a **trajectory**: one entry per PR (states/sec
+across the evaluation NFs), appended — never overwritten — so the perf
+history is visible in-repo.  Regenerate / extend with::
 
-    PYTHONPATH=src python benchmarks/bench_symbex_perf.py --out BENCH_symbex.json
+    PYTHONPATH=src python benchmarks/bench_symbex_perf.py \
+        --out BENCH_symbex.json --label pr5-compiled-engine
 
-or under pytest (smoke-sized, asserts the pipeline still produces output)::
+Gate a change against the committed baseline (used by the ``perf-smoke``
+CI step; compares aggregate states/sec over the NFs both runs share)::
+
+    PYTHONPATH=src python benchmarks/bench_symbex_perf.py \
+        --check BENCH_symbex.json --min-ratio 0.75
+
+or run under pytest (smoke-sized, asserts the pipeline still produces
+output)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_symbex_perf.py -q
 
@@ -32,11 +42,12 @@ from pathlib import Path
 
 from repro.core.castan import Castan, CastanResult
 from repro.core.config import CastanConfig
-from repro.nf.registry import get_nf
+from repro.nf.registry import EVALUATION_NF_NAMES, get_nf
 from repro.symbex.solver import Solver
 
-#: The NFs whose symbex hot loop this benchmark times: the patricia-trie LPM
-#: (deep branchy lookups) plus the four hash-based NFs (havoc-heavy paths).
+#: The NFs whose symbex hot loop the *gate* times by default: the
+#: patricia-trie LPM (deep branchy lookups) plus the four hash-based NFs
+#: (havoc-heavy paths).  Trajectory entries cover every evaluation NF.
 BENCH_NFS = (
     "lpm-patricia",
     "nat-hash-table",
@@ -98,6 +109,33 @@ class SolverProbe:
         self._originals = {}
 
 
+#: Iterations of the fixed calibration loop (arithmetic + dict writes, the
+#: same operation mix the hot loop is made of).
+_CALIBRATION_ITERS = 60_000
+
+
+def calibrate_machine(rounds: int = 5) -> float:
+    """Machine-speed score: iterations/sec of a fixed pure-Python loop.
+
+    Stored with every trajectory entry so the perf gate can normalise
+    states/sec across machines (a CI runner is gated on *code* speed, not
+    on being slower hardware than the machine that committed the
+    baseline).  Best-of-``rounds`` to shrug off scheduler noise.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        sink: dict[int, int] = {}
+        acc = 0
+        start = time.perf_counter()
+        for i in range(_CALIBRATION_ITERS):
+            acc = (acc + i * 17) & 0xFFFFFFFF
+            sink[i & 255] = acc
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, _CALIBRATION_ITERS / elapsed)
+    return round(best, 1)
+
+
 def _incremental_stats() -> dict[str, int] | None:
     """Global SolverContext counters, when the incremental subsystem exists."""
     try:
@@ -115,9 +153,9 @@ def _reset_incremental_stats() -> None:
     CONTEXT_STATS.reset()
 
 
-def bench_nf(name: str, max_states: int) -> dict[str, object]:
+def bench_nf(name: str, max_states: int, exec_mode: str = "compiled") -> dict[str, object]:
     """Run one deterministic Castan analysis and collect perf counters."""
-    config = CastanConfig(max_states=max_states, deadline_seconds=None)
+    config = CastanConfig(max_states=max_states, deadline_seconds=None, exec_mode=exec_mode)
     probe = SolverProbe()
     _reset_incremental_stats()
     probe.install()
@@ -151,14 +189,20 @@ def bench_nf(name: str, max_states: int) -> dict[str, object]:
     return record
 
 
-def run_benchmark(nfs: tuple[str, ...] = BENCH_NFS, max_states: int | None = None) -> dict:
+def run_benchmark(
+    nfs: tuple[str, ...] = BENCH_NFS,
+    max_states: int | None = None,
+    exec_mode: str = "compiled",
+    label: str | None = None,
+) -> dict:
+    """One trajectory entry: per-NF records plus aggregate states/sec."""
     max_states = max_states if max_states is not None else _max_states()
     records = []
     for name in nfs:
-        record = bench_nf(name, max_states)
+        record = bench_nf(name, max_states, exec_mode=exec_mode)
         records.append(record)
         print(
-            f"{name:>18}: {record['wall_seconds']:8.2f}s  "
+            f"{name:>20}: {record['wall_seconds']:8.2f}s  "
             f"{record['states_per_second']:8.1f} states/s  "
             f"{record['solver_queries_per_second']:9.1f} queries/s  "
             f"{record['full_list_propagation_passes']:6d} full passes  "
@@ -170,13 +214,125 @@ def run_benchmark(nfs: tuple[str, ...] = BENCH_NFS, max_states: int | None = Non
         "solver_queries": sum(r["solver_queries"] for r in records),
         "full_list_propagation_passes": sum(r["full_list_propagation_passes"] for r in records),
     }
-    return {
-        "benchmark": "bench_symbex_perf",
+    aggregate = (
+        round(totals["states_explored"] / totals["wall_seconds"], 2)
+        if totals["wall_seconds"]
+        else 0.0
+    )
+    entry = {
+        "label": label or "current",
         "scale": os.environ.get("REPRO_EVAL_SCALE", "quick").lower(),
         "max_states": max_states,
+        "exec_mode": exec_mode,
+        "machine_calibration": calibrate_machine(),
         "nfs": records,
         "totals": totals,
+        "aggregate_states_per_second": aggregate,
     }
+    return entry
+
+
+# -- trajectory file handling --------------------------------------------------
+
+
+def load_trajectory(path: Path) -> dict:
+    """Load a trajectory file, converting the pre-trajectory layout in place.
+
+    The PR 1 layout was a single run report; it becomes ``trajectory[0]``
+    (its seed-comparison appendix is preserved at the top level).
+    """
+    data = json.loads(path.read_text())
+    if "trajectory" in data:
+        return data
+    totals = data.get("totals", {})
+    aggregate = 0.0
+    if totals.get("wall_seconds"):
+        aggregate = round(totals["states_explored"] / totals["wall_seconds"], 2)
+    entry = {
+        "label": "pr1-incremental-solver",
+        "scale": data.get("scale", "quick"),
+        "max_states": data.get("max_states"),
+        "exec_mode": "interp",
+        "nfs": data.get("nfs", []),
+        "totals": totals,
+        "aggregate_states_per_second": aggregate,
+    }
+    converted = {"benchmark": "bench_symbex_perf", "trajectory": [entry]}
+    if "pre_pr_seed_comparison" in data:
+        converted["pre_pr_seed_comparison"] = data["pre_pr_seed_comparison"]
+    return converted
+
+
+def append_entry(path: Path, entry: dict) -> dict:
+    """Append ``entry`` to the trajectory at ``path`` (created if missing)."""
+    if path.exists():
+        data = load_trajectory(path)
+    else:
+        data = {"benchmark": "bench_symbex_perf", "trajectory": []}
+    data["trajectory"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def check_against_baseline(path: Path, entry: dict, min_ratio: float) -> int:
+    """Compare ``entry`` with the last committed trajectory entry.
+
+    Aggregates states/sec over the NFs both runs measured; returns a
+    non-zero exit code when the current run drops below
+    ``min_ratio * baseline`` (the CI perf gate uses 0.75, i.e. "fail on a
+    >25% regression").
+    """
+    data = load_trajectory(path)
+    if not data["trajectory"]:
+        print(f"{path} has no trajectory entries; nothing to compare against")
+        return 1
+    baseline = data["trajectory"][-1]
+    for knob in ("scale", "max_states", "exec_mode"):
+        if baseline.get(knob) != entry[knob]:
+            print(
+                f"warning: baseline entry ({baseline.get('label')}) ran with "
+                f"{knob}={baseline.get(knob)!r}, this run with "
+                f"{knob}={entry[knob]!r}; a ratio across different settings "
+                "does not measure a code regression — comparing anyway"
+            )
+    current_by_nf = {r["nf"]: r for r in entry["nfs"]}
+    shared = [r for r in baseline["nfs"] if r["nf"] in current_by_nf]
+    if not shared:
+        print("no NFs in common with the committed baseline; nothing to compare")
+        return 1
+
+    def aggregate(records) -> float:
+        wall = sum(r["wall_seconds"] for r in records)
+        states = sum(r["states_explored"] for r in records)
+        return states / wall if wall else 0.0
+
+    base_rate = aggregate(shared)
+    current_rate = aggregate([current_by_nf[r["nf"]] for r in shared])
+    ratio = current_rate / base_rate if base_rate else float("inf")
+    # Normalise away machine speed when both entries carry a calibration
+    # score, so the gate measures the code, not the runner hardware.
+    base_cal = baseline.get("machine_calibration")
+    current_cal = entry.get("machine_calibration")
+    note = "raw — baseline has no machine calibration"
+    if base_cal and current_cal:
+        ratio *= base_cal / current_cal
+        note = (
+            f"normalised by machine calibration {current_cal:.0f} vs "
+            f"baseline {base_cal:.0f} it/s"
+        )
+    print(
+        f"aggregate over {len(shared)} shared NFs: baseline "
+        f"{base_rate:.1f} states/s ({baseline.get('label')}), current "
+        f"{current_rate:.1f} states/s (ratio {ratio:.2f}, floor {min_ratio:.2f}; {note})"
+    )
+    if ratio < min_ratio:
+        print(
+            f"PERF REGRESSION: states/sec dropped more than "
+            f"{(1 - min_ratio) * 100:.0f}% below the committed baseline"
+        )
+        return 1
+    print("perf gate passed")
+    return 0
 
 
 # -- pytest entry point (smoke-sized sanity run) -------------------------------
@@ -196,19 +352,53 @@ def test_symbex_perf_smoke():
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--nfs", nargs="*", default=list(BENCH_NFS), help="NF names to run")
+    parser.add_argument(
+        "--nfs",
+        nargs="*",
+        default=None,
+        help="NF names to run (default: all evaluation NFs for --out, the "
+        "committed gate set for --check)",
+    )
     parser.add_argument("--max-states", type=int, default=None, help="override exploration budget")
-    parser.add_argument("--out", default=None, help="write the JSON report to this path")
+    parser.add_argument(
+        "--exec-mode", default="compiled", choices=("compiled", "interp"),
+        help="engine execution mode to benchmark",
+    )
+    parser.add_argument("--label", default=None, help="trajectory entry label (e.g. pr5-compiled)")
+    parser.add_argument(
+        "--out", default=None,
+        help="append this run to the trajectory file at this path",
+    )
+    parser.add_argument(
+        "--check", default=None,
+        help="compare this run against the last entry of the trajectory file "
+        "at this path; exits 1 on a regression beyond --min-ratio",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.75,
+        help="minimum current/baseline aggregate states/sec ratio (default "
+        "0.75: fail on a >25%% drop)",
+    )
     args = parser.parse_args(argv)
 
-    report = run_benchmark(tuple(args.nfs), args.max_states)
-    if args.out:
-        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {args.out}")
+    if args.nfs:
+        nfs = tuple(args.nfs)
+    elif args.check:
+        nfs = BENCH_NFS
     else:
-        json.dump(report, sys.stdout, indent=2)
+        nfs = tuple(EVALUATION_NF_NAMES)
+    entry = run_benchmark(nfs, args.max_states, exec_mode=args.exec_mode, label=args.label)
+
+    status = 0
+    if args.check:
+        status = check_against_baseline(Path(args.check), entry, args.min_ratio)
+    if args.out:
+        append_entry(Path(args.out), entry)
+        print(f"appended trajectory entry {entry['label']!r} to {args.out}")
+    if not args.check and not args.out:
+        json.dump(entry, sys.stdout, indent=2)
         print()
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -77,6 +77,23 @@ class CacheModel:
     ) -> CacheAccessDecision:
         raise NotImplementedError
 
+    def on_access_batch(self, plans, execute_one) -> None:
+        """Replay a straight-line run of memory accesses in order.
+
+        The block-compiled engine groups consecutive loads/stores of a
+        basic block into one call here instead of one :meth:`on_access`
+        call per access.  ``execute_one(model, plan)`` resolves the next
+        access's operands (later accesses may read registers written by
+        earlier ones, so resolution must happen sequentially), routes it
+        through :meth:`on_access`, applies the decision's state effects,
+        and returns False to abort the run (e.g. an out-of-bounds access
+        errored the state).  Decisions and model-state updates are
+        identical to per-access interpretation by construction.
+        """
+        for plan in plans:
+            if not execute_one(self, plan):
+                return
+
     @property
     def stats(self) -> CacheModelStats:
         raise NotImplementedError

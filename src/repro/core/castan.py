@@ -55,6 +55,12 @@ from repro.symbex.searcher import make_searcher
 from repro.symbex.solver import Model, Solver
 from repro.symbex.state import ExecutionState
 
+#: Process-global rainbow-table cache, keyed by the build parameters
+#: (tailored, chain_length, num_chains, seed).  Construction is
+#: deterministic in those parameters, so sharing across analyses cannot
+#: change any output.
+_RAINBOW_TABLE_CACHE: dict[tuple, RainbowTable] = {}
+
 
 @dataclass
 class CastanResult:
@@ -134,6 +140,7 @@ class Castan:
             defaults=defaults,
             hash_output_bits=nf.hash_output_bits,
             max_loop_iterations=config.max_loop_iterations,
+            exec_mode=config.exec_mode,
         )
         stats = self._run_search(engine)
 
@@ -324,18 +331,29 @@ class Castan:
         return model, result.status, havoc_outcome
 
     def _rainbow_tables(self, nf: NetworkFunction) -> dict[str, RainbowTable]:
-        """One (cached) rainbow table per hash function the NF uses."""
-        if not hasattr(self, "_rainbow_cache"):
-            self._rainbow_cache: dict[tuple[str, bool], RainbowTable] = {}
+        """One (cached) rainbow table per hash function the NF uses.
+
+        Tables are pure functions of their build parameters, so the cache is
+        process-global: every NF (and every ``Castan`` instance) analysed in
+        this process with the same rainbow settings shares one table instead
+        of re-deriving the chains per analysis.
+        """
         tables: dict[str, RainbowTable] = {}
         for name in nf.hash_functions:
-            key = (name, self.config.rainbow_tailored)
-            if key not in self._rainbow_cache:
-                self._rainbow_cache[key] = build_flow_rainbow_table(
+            key = (
+                self.config.rainbow_tailored,
+                self.config.rainbow_chain_length,
+                self.config.rainbow_chains,
+                self.config.seed,
+            )
+            table = _RAINBOW_TABLE_CACHE.get(key)
+            if table is None:
+                table = build_flow_rainbow_table(
                     tailored=self.config.rainbow_tailored,
                     chain_length=self.config.rainbow_chain_length,
                     num_chains=self.config.rainbow_chains,
                     seed=self.config.seed,
                 )
-            tables[name] = self._rainbow_cache[key]
+                _RAINBOW_TABLE_CACHE[key] = table
+            tables[name] = table
         return tables

@@ -50,6 +50,11 @@ class CastanConfig:
     workers: int = 0
     # Number of shards a strike chunk is striped over (None = beam_width).
     strike_shards: int | None = None
+    # Engine execution mode: "compiled" (default) runs block-compiled steps
+    # with the concolic fast path (repro.symbex.blockc); "interp" is the
+    # reference per-instruction interpreter.  Outputs are byte-identical in
+    # both modes — "interp" exists as the semantic baseline and fallback.
+    exec_mode: str = "compiled"
     # Searcher: "castan", "dfs", "bfs" or "random" (ablation).
     searcher: str = "castan"
     # Cache model: "contention" (default), "none" (ablation).

@@ -73,6 +73,9 @@ class EvalSettings:
     # per-packet round scheduler; see repro.symbex.batch.
     castan_search_mode: str = "monolithic"
     castan_beam_width: int = 3
+    # Engine execution mode: "compiled" (block-compiled + concolic fast
+    # path, the default) or "interp" (reference interpreter).
+    castan_exec_mode: str = "compiled"
     # Worker processes for the CASTAN portfolio (0/1 = sequential).
     workers: int = 0
     replay_packets: int = 1200
@@ -85,7 +88,16 @@ class EvalSettings:
     def from_environment(cls) -> "EvalSettings":
         scale = os.environ.get("REPRO_EVAL_SCALE", "quick").lower()
         search_mode = os.environ.get("REPRO_SEARCH_MODE", "monolithic").lower()
+        exec_mode = os.environ.get("REPRO_EXEC_MODE", "compiled").lower()
         workers_raw = os.environ.get("REPRO_WORKERS", "0")
+        if exec_mode not in ("compiled", "interp"):
+            warnings.warn(
+                f"unrecognized REPRO_EXEC_MODE={exec_mode!r}; falling back to "
+                "'compiled' (options: compiled, interp)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            exec_mode = "compiled"
         try:
             workers = max(0, int(workers_raw))
         except ValueError:
@@ -110,6 +122,7 @@ class EvalSettings:
                 castan_deadline_seconds=120.0,
                 castan_num_packets=None,  # per-NF paper-sized packet counts
                 castan_search_mode=search_mode,
+                castan_exec_mode=exec_mode,
                 workers=workers,
                 replay_packets=6000,
                 zipfian_packets=8000,
@@ -123,6 +136,7 @@ class EvalSettings:
                 castan_deadline_seconds=4.0,
                 castan_num_packets=5,
                 castan_search_mode=search_mode,
+                castan_exec_mode=exec_mode,
                 workers=workers,
                 replay_packets=300,
                 zipfian_packets=400,
@@ -130,7 +144,9 @@ class EvalSettings:
                 unirand_packets=400,
                 throughput_replay_packets=200,
             )
-        return cls(castan_search_mode=search_mode, workers=workers)
+        return cls(
+            castan_search_mode=search_mode, castan_exec_mode=exec_mode, workers=workers
+        )
 
 
 SETTINGS = EvalSettings.from_environment()
@@ -150,6 +166,7 @@ def _castan_config() -> CastanConfig:
         num_packets=SETTINGS.castan_num_packets,
         search_mode=SETTINGS.castan_search_mode,
         beam_width=SETTINGS.castan_beam_width,
+        exec_mode=SETTINGS.castan_exec_mode,
         parallel_mode="portfolio" if SETTINGS.workers > 1 else "off",
         workers=SETTINGS.workers,
     )

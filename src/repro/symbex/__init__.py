@@ -19,6 +19,7 @@ __all__ = [
     "BreadthFirstSearcher",
     "CastanSearcher",
     "CmpExpr",
+    "CompiledBlock",
     "Const",
     "DepthFirstSearcher",
     "ExecutionState",
@@ -31,18 +32,23 @@ __all__ = [
     "RoundStats",
     "Searcher",
     "SelectExpr",
+    "ShadowAssignment",
     "Solver",
     "SolverResult",
     "StateStatus",
     "Sym",
     "SymbexStats",
     "SymbolicEngine",
+    "compiled_evaluator",
+    "compiled_module",
     "evaluate",
     "expr_and",
     "expr_eq",
     "expr_ne",
     "make_searcher",
     "reconcile_havocs",
+    "reduce_concrete",
+    "reduce_expr",
     "run_beam_search",
     "select_beam",
     "simplify",
@@ -56,17 +62,23 @@ _EXPORTS = {
     "Expr": (".expr", "Expr"),
     "SelectExpr": (".expr", "SelectExpr"),
     "Sym": (".expr", "Sym"),
+    "compiled_evaluator": (".expr", "compiled_evaluator"),
     "evaluate": (".expr", "evaluate"),
     "expr_and": (".expr", "expr_and"),
     "expr_eq": (".expr", "expr_eq"),
     "expr_ne": (".expr", "expr_ne"),
+    "reduce_concrete": (".expr", "reduce_concrete"),
+    "reduce_expr": (".expr", "reduce_expr"),
     "simplify": (".expr", "simplify"),
     "symbols_of": (".expr", "symbols_of"),
+    "CompiledBlock": (".blockc", "CompiledBlock"),
+    "compiled_module": (".blockc", "compiled_module"),
     "Model": (".solver", "Model"),
     "Solver": (".solver", "Solver"),
     "SolverResult": (".solver", "SolverResult"),
     "ExecutionState": (".state", "ExecutionState"),
     "Frame": (".state", "Frame"),
+    "ShadowAssignment": (".state", "ShadowAssignment"),
     "StateStatus": (".state", "StateStatus"),
     "SymbexStats": (".engine", "SymbexStats"),
     "SymbolicEngine": (".engine", "SymbolicEngine"),

@@ -1,0 +1,401 @@
+"""Block compiler for the symbolic engine (``exec_mode="compiled"``).
+
+The interpreter in :mod:`repro.symbex.engine` dispatches one NFIL
+instruction per Python call chain (instruction fetch → isinstance chain →
+operand resolution → per-instruction cycle charge).  This module translates
+each IR basic block — once per process — into a list of specialized *steps*
+that fuse the straight-line work:
+
+* runs of ``BinaryOp``/``Compare``/``Select`` become one **fused step**: a
+  tuple of micro-closures with operands resolved at compile time (register
+  reads become precomputed dict keys, constant operands are pre-folded into
+  interned :class:`~repro.symbex.expr.Const` nodes, constant-constant
+  operations are folded away entirely), the run's cycle charges summed into
+  a single ``current_cost`` update, and register-file copy-on-write
+  ownership acquired once for the whole run;
+* runs of ``Load``/``Store`` become one **memory step** that replays every
+  access, in order, through a *single*
+  :meth:`~repro.cache.model.CacheModel.on_access_batch` call;
+* everything else (calls, havocs, branches, jumps, returns) becomes an
+  **exact step** that syncs ``frame.index`` and delegates to the
+  interpreter's own handler, so control-flow semantics (forking, loop-head
+  accounting, packet boundaries) are shared with ``exec_mode="interp"`` by
+  construction.
+
+The fused micro-closures carry the concolic constant short-circuit: when
+every operand is concrete they combine machine integers through
+:data:`~repro.symbex.expr.BINOP_FUNCS` / :data:`~repro.symbex.expr.CMP_FUNCS`
+and intern only the resulting constant — ``make_binop``'s simplification
+ladder never runs and no intermediate node is created.
+
+Compiled blocks live in a **process-local cache** keyed by the identity of
+``(module, cycle_costs)`` plus the (function, block) name pair.  Closures
+never travel across process boundaries: the engine drops its compiled table
+on pickling and recompiles on load, so the PR 3 compact pickle path and
+shard determinism are untouched.
+
+Caveat (documented, not load-bearing): a read of an undefined register
+raises a bare ``KeyError`` from a fused step instead of the interpreter's
+decorated message — both surface as the same crash at the API boundary.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Callable
+
+from repro.ir.instructions import (
+    BinaryOp,
+    Branch,
+    Compare,
+    Instruction,
+    Load,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, MemoryRegion, Module
+from repro.ir.values import Constant, Register
+from repro.perf.cycles import CycleCosts
+from repro.symbex.expr import (
+    BINOP_FUNCS,
+    CMP_FUNCS,
+    Const,
+    Expr,
+    make_binop,
+    make_cmp,
+    make_select,
+    register_cache_clear_hook,
+)
+from repro.symbex.state import StateStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.symbex.engine import SymbolicEngine
+    from repro.symbex.state import ExecutionState
+
+#: Step return codes consumed by the engine's compiled driver loop.
+CONTINUE = 0  # proceed to the next step of the current block
+REFETCH = 1  # control transfer happened: re-dispatch from the frame
+STOP = 2  # the state's turn is over (fork, or terminal status)
+
+StepFn = Callable[["SymbolicEngine", "ExecutionState", list], int]
+
+
+class AccessPlan:
+    """One memory access of a compiled memory step, operands pre-resolved."""
+
+    __slots__ = ("is_write", "region", "index_reg", "index_const", "value_reg",
+                 "value_const", "dest")
+
+    def __init__(
+        self,
+        is_write: bool,
+        region: MemoryRegion,
+        index_reg: str | None,
+        index_const: Expr | None,
+        value_reg: str | None = None,
+        value_const: Expr | None = None,
+        dest: str | None = None,
+    ) -> None:
+        self.is_write = is_write
+        self.region = region
+        self.index_reg = index_reg
+        self.index_const = index_const
+        self.value_reg = value_reg
+        self.value_const = value_const
+        self.dest = dest
+
+
+class CompiledBlock:
+    """The compiled form of one basic block."""
+
+    __slots__ = ("steps", "resume")
+
+    def __init__(self, steps: list[tuple[int, StepFn]], resume: dict[int, int]) -> None:
+        #: ``(instruction_count, step_fn)`` pairs, in execution order.
+        self.steps = steps
+        #: instruction index -> step position, for resuming after calls.
+        self.resume = resume
+
+
+# -- micro-op compilation ----------------------------------------------------------
+
+
+def _operand_plan(value) -> tuple[str | None, Expr | None]:
+    """Resolve an IR operand at compile time: (register name, constant expr)."""
+    if isinstance(value, Constant):
+        return None, Const(value.value)
+    if isinstance(value, Register):
+        return value.name, None
+    raise TypeError(f"unsupported operand {value!r}")
+
+
+def _compile_binary_like(instruction, kind, fold, make):
+    """Micro-op for a two-operand instruction (``BinaryOp`` or ``Compare``).
+
+    ``kind`` is the op/predicate passed to the expression constructor
+    ``make``; ``fold`` is its concrete integer implementation.  One closure
+    per operand shape, with the concolic short-circuit: two concrete
+    operands combine through ``fold`` and intern only the result constant.
+    """
+    dest = instruction.dest.name
+    lhs_reg, lhs_const = _operand_plan(instruction.lhs)
+    rhs_reg, rhs_const = _operand_plan(instruction.rhs)
+    if lhs_reg is None and rhs_reg is None:
+        result = make(kind, lhs_const, rhs_const)  # pre-folded at compile time
+
+        def op(regs, _d=dest, _v=result):
+            regs[_d] = _v
+
+    elif rhs_reg is None:
+
+        def op(regs, _d=dest, _a=lhs_reg, _re=rhs_const, _rv=rhs_const.value,
+               _f=fold, _k=kind, _C=Const, _mk=make):
+            x = regs[_a]
+            if x.__class__ is _C:
+                regs[_d] = _C(_f(x.value, _rv))
+            else:
+                regs[_d] = _mk(_k, x, _re)
+
+    elif lhs_reg is None:
+
+        def op(regs, _d=dest, _b=rhs_reg, _le=lhs_const, _lv=lhs_const.value,
+               _f=fold, _k=kind, _C=Const, _mk=make):
+            y = regs[_b]
+            if y.__class__ is _C:
+                regs[_d] = _C(_f(_lv, y.value))
+            else:
+                regs[_d] = _mk(_k, _le, y)
+
+    else:
+
+        def op(regs, _d=dest, _a=lhs_reg, _b=rhs_reg, _f=fold, _k=kind,
+               _C=Const, _mk=make):
+            x = regs[_a]
+            y = regs[_b]
+            if x.__class__ is _C and y.__class__ is _C:
+                regs[_d] = _C(_f(x.value, y.value))
+            else:
+                regs[_d] = _mk(_k, x, y)
+
+    return op
+
+
+def _compile_binop(instruction: BinaryOp):
+    return _compile_binary_like(instruction, instruction.op, BINOP_FUNCS[instruction.op], make_binop)
+
+
+def _compile_compare(instruction: Compare):
+    return _compile_binary_like(instruction, instruction.pred, CMP_FUNCS[instruction.pred], make_cmp)
+
+
+def _compile_select(instruction: Select):
+    dest = instruction.dest.name
+    cond_reg, cond_const = _operand_plan(instruction.cond)
+    t_reg, t_const = _operand_plan(instruction.if_true)
+    f_reg, f_const = _operand_plan(instruction.if_false)
+
+    # Operands are read in the interpreter's order (cond, if_true, if_false)
+    # so undefined-register failures surface at the same point.
+    def op(regs, _d=dest, _cr=cond_reg, _cc=cond_const, _tr=t_reg, _tc=t_const,
+           _fr=f_reg, _fc=f_const, _C=Const, _mk=make_select):
+        cond = regs[_cr] if _cr is not None else _cc
+        if_true = regs[_tr] if _tr is not None else _tc
+        if_false = regs[_fr] if _fr is not None else _fc
+        if cond.__class__ is _C:
+            regs[_d] = if_true if cond.value else if_false
+        else:
+            regs[_d] = _mk(cond, if_true, if_false)
+
+    return op
+
+
+# -- step construction -------------------------------------------------------------
+
+
+def _make_fused_step(ops: list, cycles: int, next_index: int) -> tuple[int, StepFn]:
+    n = len(ops)
+    ops = tuple(ops)
+
+    def step(engine, state, collected, _ops=ops, _n=n, _c=cycles, _ni=next_index):
+        frames = state._frames
+        frame = frames[-1]
+        if not state._frames_owned[-1]:
+            frame = frame.copy()
+            frames[-1] = frame
+            state._frames_owned[-1] = True
+        if frame.registers_shared:
+            frame.registers = dict(frame.registers)
+            frame.registers_shared = False
+        regs = frame.registers
+        for op in _ops:
+            op(regs)
+        state.current_cost += _c
+        state.instructions_retired += _n
+        stats = engine._stats
+        if stats is not None:
+            stats.instructions_executed += _n
+        frame.index = _ni
+        return 0
+
+    return n, step
+
+
+def _make_memory_step(plans: list[AccessPlan], next_index: int) -> tuple[int, StepFn]:
+    n = len(plans)
+    plans = tuple(plans)
+
+    def step(engine, state, collected, _plans=plans, _ni=next_index):
+        if engine._execute_memory_group(state, _plans):
+            state.top_frame.index = _ni
+            return 0
+        return 1  # access error: terminal status is set, re-dispatch exits
+
+    return n, step
+
+
+def _make_exact_step(instruction: Instruction, index: int) -> tuple[int, StepFn]:
+    if isinstance(instruction, Branch):
+
+        def step(engine, state, collected, _i=instruction, _idx=index):
+            state.instructions_retired += 1
+            stats = engine._stats
+            if stats is not None:
+                stats.instructions_executed += 1
+            state.top_frame.index = _idx
+            finished = engine._execute_branch(state, _i, collected)
+            return 2 if finished else 1
+
+    else:
+
+        def step(engine, state, collected, _i=instruction, _idx=index):
+            state.instructions_retired += 1
+            stats = engine._stats
+            if stats is not None:
+                stats.instructions_executed += 1
+            state.top_frame.index = _idx
+            engine._execute_simple(state, _i)
+            return 1
+
+    return 1, step
+
+
+def _fall_off_step(engine, state, collected):
+    state.status = StateStatus.ERROR
+    state.error_message = "fell off the end of a basic block"
+    return 1
+
+
+def _compile_block(module: Module, block: BasicBlock, cycle_costs: CycleCosts) -> CompiledBlock:
+    steps: list[tuple[int, StepFn]] = []
+    resume: dict[int, int] = {}
+
+    pending_ops: list = []
+    pending_cycles = 0
+    pending_mem: list[AccessPlan] = []
+    run_start = 0
+
+    def flush(next_index: int) -> None:
+        nonlocal pending_ops, pending_cycles, pending_mem
+        if pending_ops:
+            resume[run_start] = len(steps)
+            steps.append(_make_fused_step(pending_ops, pending_cycles, next_index))
+            pending_ops = []
+            pending_cycles = 0
+        elif pending_mem:
+            resume[run_start] = len(steps)
+            steps.append(_make_memory_step(pending_mem, next_index))
+            pending_mem = []
+
+    for index, instruction in enumerate(block.instructions):
+        if isinstance(instruction, (BinaryOp, Compare, Select)):
+            if pending_mem:
+                flush(index)
+            if not pending_ops:
+                run_start = index
+            if isinstance(instruction, BinaryOp):
+                pending_ops.append(_compile_binop(instruction))
+            elif isinstance(instruction, Compare):
+                pending_ops.append(_compile_compare(instruction))
+            else:
+                pending_ops.append(_compile_select(instruction))
+            pending_cycles += cycle_costs.instruction_cost(instruction)
+            continue
+        if isinstance(instruction, (Load, Store)):
+            if pending_ops:
+                flush(index)
+            try:
+                region = module.get_region(instruction.region)
+            except Exception:
+                # Unknown region: let the interpreter's handler raise at the
+                # exact execution point instead of at compile time.
+                flush(index)
+                resume[index] = len(steps)
+                steps.append(_make_exact_step(instruction, index))
+                run_start = index + 1
+                continue
+            if not pending_mem:
+                run_start = index
+            if isinstance(instruction, Load):
+                index_reg, index_const = _operand_plan(instruction.index)
+                pending_mem.append(
+                    AccessPlan(False, region, index_reg, index_const,
+                               dest=instruction.dest.name)
+                )
+            else:
+                index_reg, index_const = _operand_plan(instruction.index)
+                value_reg, value_const = _operand_plan(instruction.value)
+                pending_mem.append(
+                    AccessPlan(True, region, index_reg, index_const,
+                               value_reg=value_reg, value_const=value_const)
+                )
+            continue
+        # Control flow / calls / havocs / unknown: exact singleton step.
+        flush(index)
+        resume[index] = len(steps)
+        steps.append(_make_exact_step(instruction, index))
+        run_start = index + 1
+
+    end = len(block.instructions)
+    flush(end)
+    # Trailing guard: reached only when the block lacks a terminator (or is
+    # empty); mirrors the interpreter's fell-off-the-end error.  It counts
+    # no instruction, matching the interpreter's budget-check ordering.
+    resume[end] = len(steps)
+    steps.append((0, _fall_off_step))
+    return CompiledBlock(steps, resume)
+
+
+# -- process-local compiled-module cache --------------------------------------------
+
+#: (id(module), id(cycle_costs)) -> {(function, block): CompiledBlock}.
+#: Keyed on object identity; entries are evicted when either object dies, so
+#: recycled ids can never alias.  Never pickled — workers recompile.
+_MODULE_CACHE: dict[tuple[int, int], dict[tuple[str, str], CompiledBlock]] = {}
+
+# Compiled steps capture pre-folded interned constants; they must not
+# outlive an intern-table clear, or a long-running driver would mix two
+# expression generations (identity-is-structural-equality would break).
+register_cache_clear_hook(_MODULE_CACHE.clear)
+
+
+def _evict(key: tuple[int, int]) -> None:
+    _MODULE_CACHE.pop(key, None)
+
+
+def compiled_module(
+    module: Module, cycle_costs: CycleCosts
+) -> dict[tuple[str, str], CompiledBlock]:
+    """Compiled blocks for every (function, block) of ``module`` (cached)."""
+    key = (id(module), id(cycle_costs))
+    cached = _MODULE_CACHE.get(key)
+    if cached is None:
+        cached = {}
+        for function_name, function in module.functions.items():
+            for block in function.blocks:
+                cached[(function_name, block.name)] = _compile_block(
+                    module, block, cycle_costs
+                )
+        _MODULE_CACHE[key] = cached
+        weakref.finalize(module, _evict, key)
+        weakref.finalize(cycle_costs, _evict, key)
+    return cached

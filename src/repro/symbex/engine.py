@@ -33,10 +33,12 @@ from repro.ir.instructions import (
 from repro.ir.module import BasicBlock, Module
 from repro.ir.values import Constant, Register, Value
 from repro.perf.cycles import CycleCosts, DEFAULT_CYCLE_COSTS
+from repro.symbex.blockc import compiled_module
 from repro.symbex.expr import (
     Const,
     Expr,
     Sym,
+    compiled_evaluator,
     evaluate,
     expr_eq,
     expr_ne,
@@ -50,7 +52,12 @@ from repro.symbex.havoc import HavocRecord
 from repro.symbex.incremental import SolverContext
 from repro.symbex.searcher import Searcher
 from repro.symbex.solver import Solver
-from repro.symbex.state import ExecutionState, Frame, StateStatus
+from repro.symbex.state import ExecutionState, Frame, ShadowAssignment, StateStatus
+
+#: Engine execution modes: "compiled" runs block-compiled steps with the
+#: concolic fast path; "interp" is the reference per-instruction
+#: interpreter.  Outputs are byte-identical between the two.
+EXEC_MODES = ("compiled", "interp")
 
 from typing import TYPE_CHECKING
 
@@ -133,6 +140,7 @@ class SymbolicEngine:
         defaults: dict[str, int] | None = None,
         hash_output_bits: dict[str, int] | None = None,
         max_loop_iterations: int = 256,
+        exec_mode: str = "compiled",
     ) -> None:
         self.module = module
         self.entry = entry
@@ -151,6 +159,10 @@ class SymbolicEngine:
         self.hash_output_bits = dict(hash_output_bits or {})
         self.max_loop_iterations = max_loop_iterations
 
+        if exec_mode not in EXEC_MODES:
+            raise ValueError(f"unknown exec_mode {exec_mode!r}; options: {EXEC_MODES}")
+        self.exec_mode = exec_mode
+
         self._entry_function = module.get_function(entry)
         if packet_args and len(self._entry_function.params) != len(packet_args[0]):
             raise ValueError("packet argument count does not match entry parameters")
@@ -163,6 +175,33 @@ class SymbolicEngine:
         # When set, states crossing this packet boundary pause instead of
         # starting the next packet (per-packet beam rounds).
         self._pause_at_packet: int | None = None
+        self._attach_exec_mode()
+
+    def _attach_exec_mode(self) -> None:
+        """Build (or rebuild, after unpickling) the per-mode machinery.
+
+        Compiled blocks come from the process-local cache in
+        :mod:`repro.symbex.blockc`; the concolic shadow seeds from the
+        per-symbol packet defaults.  Neither is ever pickled.
+        """
+        if self.exec_mode == "compiled":
+            self._compiled_blocks = compiled_module(self.module, self.cycle_costs)
+            self._shadow: ShadowAssignment | None = ShadowAssignment(self.defaults)
+        else:
+            self._compiled_blocks = None
+            self._shadow = None
+
+    def __getstate__(self) -> dict:
+        # Compiled steps are closures (unpicklable by design); shard workers
+        # recompile from their own unpickled module on load.
+        state = dict(self.__dict__)
+        state["_compiled_blocks"] = None
+        state["_shadow"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._attach_exec_mode()
 
     # -- state construction ------------------------------------------------------
 
@@ -172,6 +211,10 @@ class SymbolicEngine:
             num_packets=len(self.packet_args),
             solver_context=SolverContext(self.solver),
         )
+        if self._shadow is not None:
+            # Concolic shadow: trivially valid while the path is unconstrained.
+            state.shadow = self._shadow
+            state.shadow_valid = True
         if not self.packet_args:
             # An explicit zero-packet run: nothing to execute.
             state.status = StateStatus.COMPLETED
@@ -281,9 +324,22 @@ class SymbolicEngine:
 
         Returns every state that needs classification by the caller: the
         (possibly paused) state itself plus any children created at forks.
+        Dispatches to the block-compiled driver or the reference
+        interpreter according to ``exec_mode``; both produce identical
+        states, counters and fork order.
         """
-        collected: list[ExecutionState] = []
-        executed = 0
+        if self._compiled_blocks is not None:
+            return self._execute_until_fork_compiled(state, max_instructions)
+        return self._interpret(state, [], 0, max_instructions)
+
+    def _interpret(
+        self,
+        state: ExecutionState,
+        collected: list[ExecutionState],
+        executed: int,
+        max_instructions: int,
+    ) -> list[ExecutionState]:
+        """The reference per-instruction loop (also the compiled tail path)."""
         while state.status is StateStatus.RUNNING:
             if executed >= max_instructions:
                 state.status = StateStatus.ERROR
@@ -307,6 +363,119 @@ class SymbolicEngine:
             self._execute_simple(state, instruction)
         collected.append(state)
         return collected
+
+    def _execute_until_fork_compiled(
+        self, state: ExecutionState, max_instructions: int
+    ) -> list[ExecutionState]:
+        """Step compiled blocks until the state forks, completes, or errors.
+
+        The instruction budget is checked against each step's instruction
+        count *before* the step runs; a step that would cross the limit
+        hands the state to the reference interpreter loop, which exhausts
+        the budget at exactly the instruction the interpreter would.
+        """
+        collected: list[ExecutionState] = []
+        executed = 0
+        compiled = self._compiled_blocks
+        while state.status is StateStatus.RUNNING:
+            frame = state._frames[-1]
+            block = compiled.get((frame.function, frame.block))
+            pos = block.resume.get(frame.index) if block is not None else None
+            if pos is None:
+                # Unknown block or a resume point the compiler did not emit:
+                # the interpreter handles both with reference semantics.
+                return self._interpret(state, collected, executed, max_instructions)
+            steps = block.steps
+            while True:
+                n, fn = steps[pos]
+                if executed >= max_instructions or executed + n > max_instructions:
+                    return self._interpret(state, collected, executed, max_instructions)
+                executed += n
+                code = fn(self, state, collected)
+                if code == 0:
+                    pos += 1
+                    continue
+                break
+            if code == 2:
+                break
+        collected.append(state)
+        return collected
+
+    def _memory_query_fns(self, state: ExecutionState):
+        """The (feasible, solve_value) callbacks handed to the cache model.
+
+        Shared by both execution modes so the solver-fallback logic cannot
+        drift between them.  ``feasible`` carries the concolic fast path: a
+        shadow that satisfies the whole path and the probe constraint is a
+        live witness, so the optimistic feasibility check cannot answer
+        anything but True (a no-op for interp-mode states, whose
+        ``shadow_valid`` is never set).
+        """
+        context = state.solver_context
+        solver = self.solver
+
+        def feasible(constraint: Expr) -> bool:
+            if state.shadow_valid:
+                ev = constraint._evaluator
+                if ev is None:
+                    ev = compiled_evaluator(constraint)
+                if ev(state.shadow):
+                    return True
+            if context is not None:
+                return context.feasible_with(constraint)
+            return solver.quick_feasible(state.constraints + [constraint])
+
+        def solve_value(expr: Expr) -> int | None:
+            if context is not None:
+                return context.solve_value(expr, defaults=self.defaults)
+            result = solver.check(state.constraints, defaults=self.defaults)
+            if not result.is_sat:
+                return None
+            assignment = {
+                symbol.name: result.model.get(symbol.name, self.defaults.get(symbol.name, 0))
+                for symbol in symbols_of(expr)
+            }
+            return evaluate(expr, assignment)
+
+        return feasible, solve_value
+
+    def _execute_memory_group(self, state: ExecutionState, plans) -> bool:
+        """Replay a compiled run of memory accesses through the cache model.
+
+        One ``on_access_batch`` call covers the whole run; per-access state
+        effects (constraints, cycle charges, level counts, register/memory
+        writes) are applied between accesses so later index operands see
+        earlier results.  Returns False when an access errored the state.
+        """
+        stats = self._stats
+        feasible, solve_value = self._memory_query_fns(state)
+        apply_access = self._apply_access
+
+        def execute_one(model, plan) -> bool:
+            state.instructions_retired += 1
+            if stats is not None:
+                stats.instructions_executed += 1
+            regs = state._frames[-1].registers
+            index_expr = regs[plan.index_reg] if plan.index_reg is not None else plan.index_const
+            if plan.is_write:
+                if plan.value_reg is not None:
+                    # Re-read the register file at call time: an earlier load
+                    # in this run may have swapped the CoW dict.
+                    def read_value(_r=plan.value_reg):
+                        return state._frames[-1].registers[_r]
+                else:
+                    def read_value(_v=plan.value_const):
+                        return _v
+            else:
+                read_value = None
+            return apply_access(
+                state, model, plan.region, index_expr, plan.is_write,
+                read_value=read_value, dest=plan.dest,
+                feasible=feasible, solve_value=solve_value,
+            )
+
+        state.cache_model.on_access_batch(plans, execute_one)
+        return state.status is StateStatus.RUNNING
 
     # -- instruction dispatch ----------------------------------------------------------
 
@@ -384,49 +553,59 @@ class SymbolicEngine:
     def _execute_memory(self, state: ExecutionState, instruction, is_write: bool) -> None:
         region = self.module.get_region(instruction.region)
         index_expr = self._operand(state, instruction.index)
+        feasible, solve_value = self._memory_query_fns(state)
+        self._apply_access(
+            state,
+            state.cache_model,
+            region,
+            index_expr,
+            is_write,
+            read_value=(lambda: self._operand(state, instruction.value)) if is_write else None,
+            dest=None if is_write else instruction.dest.name,
+            feasible=feasible,
+            solve_value=solve_value,
+        )
 
-        if isinstance(index_expr, Const) and not (0 <= index_expr.value < region.length):
+    def _apply_access(
+        self,
+        state: ExecutionState,
+        model,
+        region,
+        index_expr: Expr,
+        is_write: bool,
+        read_value,
+        dest: str | None,
+        feasible,
+        solve_value,
+    ) -> bool:
+        """One memory access: bounds check, cache decision, state effects.
+
+        The single per-access body shared by the interpreter and the
+        compiled memory steps (so the two modes cannot drift).  ``read_value``
+        is called only after the cache decision, matching the interpreter's
+        operand-read order.  Returns False when the access errored the state.
+        """
+        if index_expr.__class__ is Const and not (0 <= index_expr.value < region.length):
             state.status = StateStatus.ERROR
             state.error_message = (
                 f"out-of-bounds access to @{region.name}[{index_expr.value}] "
                 f"(length {region.length})"
             )
-            return
-
-        context = state.solver_context
-
-        def feasible(constraint: Expr) -> bool:
-            if context is not None:
-                return context.feasible_with(constraint)
-            return self.solver.quick_feasible(state.constraints + [constraint])
-
-        def solve_value(expr: Expr) -> int | None:
-            if context is not None:
-                return context.solve_value(expr, defaults=self.defaults)
-            result = self.solver.check(state.constraints, defaults=self.defaults)
-            if not result.is_sat:
-                return None
-            assignment = {
-                symbol.name: result.model.get(symbol.name, self.defaults.get(symbol.name, 0))
-                for symbol in symbols_of(expr)
-            }
-            return evaluate(expr, assignment)
-
-        decision = state.cache_model.on_access(region, index_expr, is_write, feasible, solve_value)
+            return False
+        decision = model.on_access(region, index_expr, is_write, feasible, solve_value)
         if decision.constraint is not None:
             state.add_constraint(decision.constraint)
-        self._charge(state, self.cycle_costs.memory_cost(decision.level))
+        state.current_cost += self.cycle_costs.memory_cost(decision.level)
         state.level_counts[decision.level] = state.level_counts.get(decision.level, 0) + 1
-
         if is_write:
-            value = self._operand(state, instruction.value)
-            state.write_memory(region.name, decision.index, value)
+            state.write_memory(region.name, decision.index, read_value())
             state.stores += 1
         else:
             default = region.initial.get(decision.index, 0)
             value = state.read_memory(region.name, decision.index, default=default)
-            state.write_register(instruction.dest.name, value)
+            state.write_register(dest, value)
             state.loads += 1
+        return True
 
     def _execute_call(self, state: ExecutionState, instruction: Call) -> None:
         callee = self.module.get_function(instruction.callee)
@@ -505,12 +684,29 @@ class SymbolicEngine:
         true_constraint = expr_ne(cond, Const(0))
         false_constraint = expr_not(true_constraint)
         context = state.solver_context
-        if context is not None:
-            feasible_true = context.feasible_with(true_constraint)
-            feasible_false = context.feasible_with(false_constraint)
+
+        def query(constraint: Expr) -> bool:
+            if context is not None:
+                return context.feasible_with(constraint)
+            return self.solver.quick_feasible(state.constraints + [constraint])
+
+        if state.shadow_valid:
+            # Concolic fast path: the shadow satisfies the whole path, so
+            # whichever side it takes is satisfiable — and the optimistic
+            # feasibility check returns True on every satisfiable side.
+            # Only the other side needs a solver query.
+            ev = cond._evaluator
+            if ev is None:
+                ev = compiled_evaluator(cond)
+            if ev(state.shadow):
+                feasible_true = True
+                feasible_false = query(false_constraint)
+            else:
+                feasible_false = True
+                feasible_true = query(true_constraint)
         else:
-            feasible_true = self.solver.quick_feasible(state.constraints + [true_constraint])
-            feasible_false = self.solver.quick_feasible(state.constraints + [false_constraint])
+            feasible_true = query(true_constraint)
+            feasible_false = query(false_constraint)
 
         is_loop_head = frame.block.startswith(_LOOP_HEAD_PREFIXES)
         if is_loop_head:

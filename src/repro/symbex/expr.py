@@ -16,6 +16,19 @@ skip whole subtrees whose symbols are untouched.
 
 Interned nodes live for the process lifetime; long-running drivers can call
 :func:`clear_expression_caches` between independent analyses.
+
+Two concrete-execution fast paths are built on top of the interning:
+
+* every node lazily caches a **compiled evaluator** (a closure tree built
+  once per interned node) so repeated concrete evaluation — the solver's
+  backtracking consistency checks, the engine's concolic shadow — costs
+  plain integer operations instead of tree substitution;
+* :func:`reduce_expr` is an exact, memoised equivalent of
+  ``simplify(substitute(expr, assignment))``: fully-covered expressions go
+  through the compiled evaluator without interning any intermediate node,
+  and partially-covered reductions are memoised on (node, assignment
+  projection) so backtracking and repeated ``Solver.check`` calls stop
+  re-deriving the same reductions.
 """
 
 from __future__ import annotations
@@ -33,7 +46,9 @@ class Expr:
     """Base class of all symbolic expressions.
 
     Subclasses intern their instances in ``__new__``; identity equality and
-    hashing (inherited from ``object``) are therefore structural.
+    hashing are therefore structural.  The hash is computed once at intern
+    time and cached in a slot (``__hash__`` below), so hot memo tables keyed
+    on expressions skip the C-level ``object.__hash__`` call.
 
     Pickling goes through each subclass's ``__reduce__``, which rebuilds the
     node via the interning constructor: a round-trip within one process
@@ -42,10 +57,14 @@ class Expr:
     holds in the destination process too.
     """
 
-    __slots__ = ("symbols", "symbol_names", "depth", "_simplified")
+    __slots__ = ("symbols", "symbol_names", "depth", "_simplified", "_hash", "_evaluator")
 
     # Interning makes structural equality identity equality; keep object's
-    # __eq__/__hash__ (identity) for O(1) dict/set operations.
+    # __eq__ (identity) for O(1) dict/set operations.  __hash__ returns the
+    # identity hash captured at intern time.
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_concrete(self) -> bool:
@@ -70,11 +89,13 @@ class Const(Expr):
         cached = cls._intern.get(value)
         if cached is None:
             cached = object.__new__(cls)
+            cached._hash = object.__hash__(cached)
             cached.value = value
             cached.symbols = _EMPTY_SYMBOLS
             cached.symbol_names = _EMPTY_NAMES
             cached.depth = 1
             cached._simplified = cached
+            cached._evaluator = lambda assignment, _v=value: _v
             cls._intern[value] = cached
         return cached
 
@@ -100,12 +121,16 @@ class Sym(Expr):
         cached = cls._intern.get(key)
         if cached is None:
             cached = object.__new__(cls)
+            cached._hash = object.__hash__(cached)
             cached.name = name
             cached.bits = bits
             cached.symbols = frozenset((cached,))
             cached.symbol_names = frozenset((name,))
             cached.depth = 1
             cached._simplified = cached
+            cached._evaluator = lambda assignment, _n=name, _m=(1 << bits) - 1: (
+                assignment[_n] & _m
+            )
             cls._intern[key] = cached
         return cached
 
@@ -135,6 +160,7 @@ class BinExpr(Expr):
         cached = cls._intern.get(key)
         if cached is None:
             cached = object.__new__(cls)
+            cached._hash = object.__hash__(cached)
             cached.op = op
             cached.lhs = lhs
             cached.rhs = rhs
@@ -142,6 +168,7 @@ class BinExpr(Expr):
             cached.symbol_names = lhs.symbol_names | rhs.symbol_names
             cached.depth = 1 + max(lhs.depth, rhs.depth)
             cached._simplified = None
+            cached._evaluator = None
             cls._intern[key] = cached
         return cached
 
@@ -167,6 +194,7 @@ class CmpExpr(Expr):
         cached = cls._intern.get(key)
         if cached is None:
             cached = object.__new__(cls)
+            cached._hash = object.__hash__(cached)
             cached.pred = pred
             cached.lhs = lhs
             cached.rhs = rhs
@@ -174,6 +202,7 @@ class CmpExpr(Expr):
             cached.symbol_names = lhs.symbol_names | rhs.symbol_names
             cached.depth = 1 + max(lhs.depth, rhs.depth)
             cached._simplified = None
+            cached._evaluator = None
             cls._intern[key] = cached
         return cached
 
@@ -199,6 +228,7 @@ class SelectExpr(Expr):
         cached = cls._intern.get(key)
         if cached is None:
             cached = object.__new__(cls)
+            cached._hash = object.__hash__(cached)
             cached.cond = cond
             cached.if_true = if_true
             cached.if_false = if_false
@@ -208,6 +238,7 @@ class SelectExpr(Expr):
             )
             cached.depth = 1 + max(cond.depth, if_true.depth, if_false.depth)
             cached._simplified = None
+            cached._evaluator = None
             cls._intern[key] = cached
         return cached
 
@@ -301,6 +332,274 @@ def _apply_cmp(pred: CmpKind, lhs: int, rhs: int) -> int:
     if pred is CmpKind.UGE:
         return int(lhs >= rhs)
     raise ValueError(f"unknown comparison {pred}")
+
+
+#: Per-operator concrete implementations, used by the compiled evaluators and
+#: the block compiler's constant short-circuits so neither pays the
+#: ``_apply_binop`` if-chain per operation.  Semantics match ``_apply_binop``
+#: / ``_apply_cmp`` exactly (64-bit unsigned, total on division by zero).
+BINOP_FUNCS: dict[BinOpKind, "object"] = {
+    BinOpKind.ADD: lambda x, y: (x + y) & MACHINE_MASK,
+    BinOpKind.SUB: lambda x, y: (x - y) & MACHINE_MASK,
+    BinOpKind.MUL: lambda x, y: (x * y) & MACHINE_MASK,
+    BinOpKind.UDIV: lambda x, y: (x // y) & MACHINE_MASK if y else MACHINE_MASK,
+    BinOpKind.UREM: lambda x, y: (x % y) & MACHINE_MASK if y else x,
+    BinOpKind.AND: lambda x, y: x & y,
+    BinOpKind.OR: lambda x, y: x | y,
+    BinOpKind.XOR: lambda x, y: x ^ y,
+    BinOpKind.SHL: lambda x, y: (x << y) & MACHINE_MASK if y < MACHINE_BITS else 0,
+    BinOpKind.LSHR: lambda x, y: x >> y if y < MACHINE_BITS else 0,
+}
+
+CMP_FUNCS: dict[CmpKind, "object"] = {
+    CmpKind.EQ: lambda x, y: 1 if x == y else 0,
+    CmpKind.NE: lambda x, y: 1 if x != y else 0,
+    CmpKind.ULT: lambda x, y: 1 if x < y else 0,
+    CmpKind.ULE: lambda x, y: 1 if x <= y else 0,
+    CmpKind.UGT: lambda x, y: 1 if x > y else 0,
+    CmpKind.UGE: lambda x, y: 1 if x >= y else 0,
+}
+
+
+#: Trees deeper than this are compiled as closure trees instead of source
+#: code, keeping clear of the bytecode compiler's nesting limits.
+_CODEGEN_MAX_DEPTH = 48
+
+#: Codegen inlines shared subtrees at every reference, so a DAG can expand
+#: exponentially; expressions whose *expanded* size exceeds this bound fall
+#: back to closure trees (which share compiled children).
+_CODEGEN_MAX_EXPANDED = 3000
+
+_EXPANDED_SIZE_MEMO: dict[Expr, int] = {}
+
+
+def _expanded_size(expr: Expr) -> int:
+    """Duplication-aware node count, saturating above the codegen bound."""
+    cached = _EXPANDED_SIZE_MEMO.get(expr)
+    if cached is not None:
+        return cached
+    kind = type(expr)
+    if kind is Const or kind is Sym:
+        size = 1
+    elif kind is SelectExpr:
+        size = 1 + _expanded_size(expr.cond) + _expanded_size(expr.if_true) + _expanded_size(
+            expr.if_false
+        )
+    else:
+        size = 1 + _expanded_size(expr.lhs) + _expanded_size(expr.rhs)
+    if size > _CODEGEN_MAX_EXPANDED:
+        size = _CODEGEN_MAX_EXPANDED + 1  # saturate: exact count is irrelevant
+    _EXPANDED_SIZE_MEMO[expr] = size
+    return size
+
+_CMP_SOURCE = {
+    CmpKind.EQ: "==",
+    CmpKind.NE: "!=",
+    CmpKind.ULT: "<",
+    CmpKind.ULE: "<=",
+    CmpKind.UGT: ">",
+    CmpKind.UGE: ">=",
+}
+
+#: Globals for generated evaluator code: total-division/shift helpers.
+_CODEGEN_GLOBALS = {
+    "__builtins__": {},
+    "_udiv": BINOP_FUNCS[BinOpKind.UDIV],
+    "_urem": BINOP_FUNCS[BinOpKind.UREM],
+    "_shl": BINOP_FUNCS[BinOpKind.SHL],
+    "_lshr": BINOP_FUNCS[BinOpKind.LSHR],
+}
+
+_BINOP_SOURCE_SIMPLE = {
+    BinOpKind.ADD: "(({l} + {r}) & 18446744073709551615)",
+    BinOpKind.SUB: "(({l} - {r}) & 18446744073709551615)",
+    BinOpKind.MUL: "(({l} * {r}) & 18446744073709551615)",
+    BinOpKind.AND: "({l} & {r})",
+    BinOpKind.OR: "({l} | {r})",
+    BinOpKind.XOR: "({l} ^ {r})",
+}
+
+_BINOP_SOURCE_HELPER = {
+    BinOpKind.UDIV: "_udiv",
+    BinOpKind.UREM: "_urem",
+    BinOpKind.SHL: "_shl",
+    BinOpKind.LSHR: "_lshr",
+}
+
+
+def _emit_source(expr: Expr) -> str:
+    """Python source computing ``expr``'s value from the assignment dict ``a``."""
+    kind = type(expr)
+    if kind is Const:
+        return repr(expr.value)
+    if kind is Sym:
+        return f"(a[{expr.name!r}] & {expr.mask})"
+    if kind is BinExpr:
+        lhs = _emit_source(expr.lhs)
+        rhs = _emit_source(expr.rhs)
+        op = expr.op
+        template = _BINOP_SOURCE_SIMPLE.get(op)
+        if template is not None:
+            return template.format(l=lhs, r=rhs)
+        # Constant shifts (the overwhelmingly common case) inline; symbolic
+        # shift amounts and division go through the total helper functions.
+        if type(expr.rhs) is Const and expr.rhs.value < MACHINE_BITS:
+            if op is BinOpKind.SHL:
+                return f"(({lhs} << {expr.rhs.value}) & {MACHINE_MASK})"
+            if op is BinOpKind.LSHR:
+                return f"({lhs} >> {expr.rhs.value})"
+        return f"{_BINOP_SOURCE_HELPER[op]}({lhs}, {rhs})"
+    if kind is CmpExpr:
+        return f"(1 if {_emit_source(expr.lhs)} {_CMP_SOURCE[expr.pred]} {_emit_source(expr.rhs)} else 0)"
+    if kind is SelectExpr:
+        # Conditional expression: only the taken branch evaluates, exactly
+        # like evaluate()/substitute().
+        return (
+            f"({_emit_source(expr.if_true)} if {_emit_source(expr.cond)}"
+            f" else {_emit_source(expr.if_false)})"
+        )
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+def _closure_evaluator(expr: Expr):
+    """Closure-tree evaluator (fallback for trees too deep to codegen)."""
+    kind = type(expr)
+    if kind is BinExpr:
+        lf = compiled_evaluator(expr.lhs)
+        rf = compiled_evaluator(expr.rhs)
+        op = BINOP_FUNCS[expr.op]
+        return lambda a, _op=op, _lf=lf, _rf=rf: _op(_lf(a), _rf(a))
+    if kind is CmpExpr:
+        lf = compiled_evaluator(expr.lhs)
+        rf = compiled_evaluator(expr.rhs)
+        op = CMP_FUNCS[expr.pred]
+        return lambda a, _op=op, _lf=lf, _rf=rf: _op(_lf(a), _rf(a))
+    if kind is SelectExpr:
+        cf = compiled_evaluator(expr.cond)
+        tf = compiled_evaluator(expr.if_true)
+        ff = compiled_evaluator(expr.if_false)
+        return lambda a, _cf=cf, _tf=tf, _ff=ff: _tf(a) if _cf(a) else _ff(a)
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+def compiled_evaluator(expr: Expr):
+    """The node's compiled concrete evaluator (built once, cached on the node).
+
+    The returned callable maps an assignment dict to the expression's value
+    under exactly :func:`evaluate`'s semantics: symbols read
+    ``assignment[name] & mask`` (raising ``KeyError`` when missing — callers
+    that want missing symbols to read 0 pass a ``__missing__``-style dict),
+    and only the taken branch of a select is evaluated.
+
+    Shallow trees compile to a single generated Python function (one call
+    per evaluation); deep trees fall back to a closure tree (one call per
+    node), which has no nesting limit.
+    """
+    ev = expr._evaluator
+    if ev is None:
+        if expr.depth <= _CODEGEN_MAX_DEPTH and _expanded_size(expr) <= _CODEGEN_MAX_EXPANDED:
+            try:
+                ev = eval(f"lambda a: {_emit_source(expr)}", dict(_CODEGEN_GLOBALS))
+            except (SyntaxError, MemoryError, RecursionError):  # pragma: no cover
+                ev = _closure_evaluator(expr)
+        else:
+            ev = _closure_evaluator(expr)
+        expr._evaluator = ev
+    return ev
+
+
+#: Bound on the reduction memo; when exceeded the table is cleared (entries
+#: regenerate on demand, sharing is the only thing lost).
+_REDUCE_MEMO_LIMIT = 1 << 17
+
+_REDUCE_MEMO: dict[tuple, Expr] = {}
+#: Per-node sorted symbol names, so reduction memo keys are cheap to build.
+_SORTED_NAMES: dict[Expr, tuple[str, ...]] = {}
+
+
+def reduce_expr(expr: Expr, assignment: dict[str, int]) -> Expr:
+    """Exactly ``simplify(substitute(expr, assignment))``, but fast.
+
+    Three tiers, all returning the identical interned node the slow form
+    would return (the incremental solver and the backtracking search rely on
+    this equivalence for byte-identical outputs):
+
+    1. no assigned symbol occurs in ``expr`` → ``simplify(expr)`` (cached);
+    2. *every* symbol is assigned → the compiled evaluator computes the
+       concrete value directly — no intermediate node is interned;
+    3. partial coverage → the substitution runs once and is memoised on
+       (node, projection of the assignment onto the node's symbols).
+    """
+    names = expr.symbol_names
+    if not names or not assignment:
+        return simplify(expr)
+    hit = missing = False
+    for name in names:  # O(|names|), names is small; never iterate the assignment
+        if name in assignment:
+            hit = True
+        else:
+            missing = True
+    if not hit:
+        return simplify(expr)
+    if not missing:
+        ev = expr._evaluator
+        if ev is None:
+            ev = compiled_evaluator(expr)
+        return Const(ev(assignment))
+    sorted_names = _SORTED_NAMES.get(expr)
+    if sorted_names is None:
+        sorted_names = tuple(sorted(names))
+        _SORTED_NAMES[expr] = sorted_names
+    key = (expr, tuple(assignment.get(name) for name in sorted_names))
+    reduced = _REDUCE_MEMO.get(key)
+    if reduced is None:
+        reduced = simplify(substitute(expr, assignment))
+        if len(_REDUCE_MEMO) >= _REDUCE_MEMO_LIMIT:
+            _REDUCE_MEMO.clear()
+        _REDUCE_MEMO[key] = reduced
+    return reduced
+
+
+def reduce_concrete(expr: Expr, assignment: dict[str, int]) -> int | None:
+    """``reduce_expr(...)``'s value when it collapses to a constant, else None.
+
+    Exactly equivalent to ``reduce_expr(expr, assignment)`` followed by an
+    ``isinstance(_, Const)`` check on a *pre-normalised* expression (one that
+    is its own ``simplify`` fixpoint and is not already ``Const``), but skips
+    interning the result constant.  The solver's backtracking consistency
+    checks — the hottest loop of ``Solver.check`` — use this form.
+    """
+    names = expr.symbol_names
+    if not names or not assignment:
+        return None
+    missing = hit = False
+    for name in names:
+        if name in assignment:
+            hit = True
+        else:
+            missing = True
+    if not hit:
+        return None
+    if not missing:
+        ev = expr._evaluator
+        if ev is None:
+            ev = compiled_evaluator(expr)
+        return ev(assignment)
+    reduced = reduce_expr(expr, assignment)
+    if reduced.__class__ is Const:
+        return reduced.value
+    return None
+
+
+def _clear_reduction_caches() -> None:
+    _REDUCE_MEMO.clear()
+    _SORTED_NAMES.clear()
+    _SUBSTITUTE_MEMO.clear()
+    _EXPANDED_SIZE_MEMO.clear()
+
+
+# The reduction memo keys on interned nodes; it must not outlive them.
+register_cache_clear_hook(_clear_reduction_caches)
 
 
 def make_binop(op: BinOpKind, lhs: Expr, rhs: Expr) -> Expr:
@@ -475,19 +774,20 @@ def evaluate(expr: Expr, assignment: dict[str, int]) -> int:
     """Evaluate ``expr`` under a complete assignment of its symbols.
 
     Raises ``KeyError`` if a required symbol is missing from ``assignment``.
+    Runs through the node's compiled evaluator, so repeated evaluation of
+    the same (interned) expression is pure integer work.
     """
-    if isinstance(expr, Const):
-        return expr.value
-    if isinstance(expr, Sym):
-        return assignment[expr.name] & expr.mask
-    if isinstance(expr, BinExpr):
-        return _apply_binop(expr.op, evaluate(expr.lhs, assignment), evaluate(expr.rhs, assignment))
-    if isinstance(expr, CmpExpr):
-        return _apply_cmp(expr.pred, evaluate(expr.lhs, assignment), evaluate(expr.rhs, assignment))
-    if isinstance(expr, SelectExpr):
-        cond = evaluate(expr.cond, assignment)
-        return evaluate(expr.if_true if cond else expr.if_false, assignment)
-    raise TypeError(f"cannot evaluate {expr!r}")
+    ev = expr._evaluator
+    if ev is None:
+        ev = compiled_evaluator(expr)
+    return ev(assignment)
+
+
+#: Subtrees at least this deep get their substitutions memoised; shallower
+#: ones are cheaper to recompute than to key.
+_SUBSTITUTE_MEMO_MIN_DEPTH = 4
+
+_SUBSTITUTE_MEMO: dict[tuple, Expr] = {}
 
 
 def substitute(expr: Expr, assignment: dict[str, int]) -> Expr:
@@ -495,7 +795,11 @@ def substitute(expr: Expr, assignment: dict[str, int]) -> Expr:
 
     Subtrees mentioning no assigned symbol are returned unchanged (O(1)
     thanks to the per-node symbol-name cache), so substitution cost scales
-    with the touched part of the tree, not its total size.
+    with the touched part of the tree, not its total size.  Deep touched
+    subtrees are additionally memoised on (node, assignment projection):
+    hash-consing makes key subexpressions (packed flow keys, havoc chains)
+    recur across many constraints, and the backtracking search re-projects
+    them under the same partial assignments over and over.
     """
     names = expr.symbol_names
     if not names or not assignment:
@@ -509,17 +813,37 @@ def substitute(expr: Expr, assignment: dict[str, int]) -> Expr:
         if expr.name in assignment:
             return Const(assignment[expr.name] & expr.mask)
         return expr
+    key = None
+    if expr.depth >= _SUBSTITUTE_MEMO_MIN_DEPTH:
+        sorted_names = _SORTED_NAMES.get(expr)
+        if sorted_names is None:
+            sorted_names = tuple(sorted(names))
+            _SORTED_NAMES[expr] = sorted_names
+        key = (expr, tuple(assignment.get(name) for name in sorted_names))
+        cached = _SUBSTITUTE_MEMO.get(key)
+        if cached is not None:
+            return cached
     if isinstance(expr, BinExpr):
-        return make_binop(expr.op, substitute(expr.lhs, assignment), substitute(expr.rhs, assignment))
-    if isinstance(expr, CmpExpr):
-        return make_cmp(expr.pred, substitute(expr.lhs, assignment), substitute(expr.rhs, assignment))
-    if isinstance(expr, SelectExpr):
-        return make_select(
+        result = make_binop(
+            expr.op, substitute(expr.lhs, assignment), substitute(expr.rhs, assignment)
+        )
+    elif isinstance(expr, CmpExpr):
+        result = make_cmp(
+            expr.pred, substitute(expr.lhs, assignment), substitute(expr.rhs, assignment)
+        )
+    elif isinstance(expr, SelectExpr):
+        result = make_select(
             substitute(expr.cond, assignment),
             substitute(expr.if_true, assignment),
             substitute(expr.if_false, assignment),
         )
-    raise TypeError(f"cannot substitute into {expr!r}")
+    else:
+        raise TypeError(f"cannot substitute into {expr!r}")
+    if key is not None:
+        if len(_SUBSTITUTE_MEMO) >= _REDUCE_MEMO_LIMIT:
+            _SUBSTITUTE_MEMO.clear()
+        _SUBSTITUTE_MEMO[key] = result
+    return result
 
 
 def expr_depth(expr: Expr) -> int:

@@ -39,7 +39,7 @@ import itertools
 from typing import Iterable
 
 from repro.symbex import expr as expr_module
-from repro.symbex.expr import Const, Expr, evaluate, simplify, substitute
+from repro.symbex.expr import Const, Expr, evaluate, reduce_expr
 from repro.symbex.solver import Solver, SolverResult, _Domain
 
 #: Rounds cap for one incremental propagation wave; mirrors the cap in
@@ -304,7 +304,7 @@ class SolverContext:
         CONTEXT_STATS.queries += 1
         if self.unsat:
             return False
-        extra = simplify(substitute(extra, self._assignment))
+        extra = reduce_expr(extra, self._assignment)
         if isinstance(extra, Const):
             return extra.value != 0
         key = (self._set_id, id(extra))
@@ -334,7 +334,7 @@ class SolverContext:
         self._set_id = _extend_set_id(self._set_id, constraint)
         if self.unsat:
             return
-        reduced = simplify(substitute(constraint, self._assignment))
+        reduced = reduce_expr(constraint, self._assignment)
         if isinstance(reduced, Const):
             if reduced.value == 0:
                 self.unsat = True
@@ -354,7 +354,7 @@ class SolverContext:
         """
         if self.unsat:
             return None
-        reduced = simplify(substitute(expr, self._assignment))
+        reduced = reduce_expr(expr, self._assignment)
         if isinstance(reduced, Const):
             CONTEXT_STATS.fast_path_values += 1
             return reduced.value
@@ -415,7 +415,7 @@ class SolverContext:
             changed = False
             unresolved: list[Expr] = []
             for constraint in queue:
-                reduced = simplify(substitute(constraint, assignment))
+                reduced = reduce_expr(constraint, assignment)
                 if isinstance(reduced, Const):
                     if reduced.value == 0:
                         return False

@@ -37,12 +37,37 @@ from repro.symbex.expr import (
     SelectExpr,
     Sym,
     evaluate,
+    reduce_concrete,
+    reduce_expr,
+    register_cache_clear_hook,
     simplify,
-    substitute,
     symbols_of,
 )
 
 MACHINE_MASK = (1 << 64) - 1
+
+#: Memos for the pure per-node constraint analyses (pattern matching,
+#: algebraic inversion, disjoint-field decomposition, possible-bit bounds).
+#: Propagation re-runs these on the same interned nodes thousands of times
+#: per analysis; all of them are pure functions of their (interned)
+#: arguments.  They key on expression identity, so they must not survive an
+#: intern-table clear.
+_MASKED_SHIFT_MEMO: dict[Expr, "tuple[Sym, int, int] | None"] = {}
+_INVERT_MEMO: dict[tuple, "tuple[Sym, int] | None"] = {}
+_DECOMPOSE_MEMO: dict[tuple, "list[tuple[Expr, int]] | None"] = {}
+_POSSIBLE_BITS_MEMO: dict[Expr, "int | None"] = {}
+
+_ANALYSIS_MEMO_LIMIT = 1 << 17
+
+
+def _clear_analysis_memos() -> None:
+    _MASKED_SHIFT_MEMO.clear()
+    _INVERT_MEMO.clear()
+    _DECOMPOSE_MEMO.clear()
+    _POSSIBLE_BITS_MEMO.clear()
+
+
+register_cache_clear_hook(_clear_analysis_memos)
 
 
 @dataclass
@@ -287,7 +312,7 @@ class Solver:
             changed = False
             unresolved: list[Expr] = []
             for constraint in pending:
-                reduced = simplify(substitute(constraint, assignment))
+                reduced = reduce_expr(constraint, assignment)
                 if isinstance(reduced, Const):
                     if reduced.value == 0:
                         return "unsat", []
@@ -391,7 +416,16 @@ class Solver:
 
     @staticmethod
     def _match_masked_shift(expr: Expr) -> tuple[Sym, int, int] | None:
-        """Match ``(sym >> shift) & mask`` (shift and/or mask optional)."""
+        """Match ``(sym >> shift) & mask`` (shift and/or mask optional).
+
+        The match is a pure function of the (interned) node, so results are
+        memoised process-wide — propagation re-examines the same constraint
+        shapes thousands of times per analysis.
+        """
+        try:
+            return _MASKED_SHIFT_MEMO[expr]
+        except KeyError:
+            pass
         shift = 0
         mask = MACHINE_MASK
         node = expr
@@ -403,15 +437,32 @@ class Solver:
             node = node.lhs
         if isinstance(node, Sym):
             mask &= node.mask >> shift
-            return node, shift, mask
-        return None
+            matched = (node, shift, mask)
+        else:
+            matched = None
+        if len(_MASKED_SHIFT_MEMO) >= _ANALYSIS_MEMO_LIMIT:
+            _MASKED_SHIFT_MEMO.clear()
+        _MASKED_SHIFT_MEMO[expr] = matched
+        return matched
 
     def _possible_bits(self, expr: Expr) -> int | None:
         """Upper bound on which bits of ``expr`` can ever be non-zero.
 
         Returns ``None`` when no useful bound can be computed (e.g. for
         subtraction or division, whose results can spill into any bit).
+        Memoised per interned node.
         """
+        try:
+            return _POSSIBLE_BITS_MEMO[expr]
+        except KeyError:
+            pass
+        bits = self._possible_bits_uncached(expr)
+        if len(_POSSIBLE_BITS_MEMO) >= _ANALYSIS_MEMO_LIMIT:
+            _POSSIBLE_BITS_MEMO.clear()
+        _POSSIBLE_BITS_MEMO[expr] = bits
+        return bits
+
+    def _possible_bits_uncached(self, expr: Expr) -> int | None:
         if isinstance(expr, Const):
             return expr.value
         if isinstance(expr, Sym):
@@ -456,7 +507,20 @@ class Solver:
         Applies when ``expr`` is an OR/XOR/ADD combination of sub-expressions
         whose possible bit masks are pairwise disjoint — the shape produced
         by packing flow keys as ``field_a | (field_b << k) | ...``.
+        Memoised per (node, target); callers must not mutate the result.
         """
+        key = (expr, target)
+        try:
+            return _DECOMPOSE_MEMO[key]
+        except KeyError:
+            pass
+        decomposed = self._decompose_disjoint_uncached(expr, target)
+        if len(_DECOMPOSE_MEMO) >= _ANALYSIS_MEMO_LIMIT:
+            _DECOMPOSE_MEMO.clear()
+        _DECOMPOSE_MEMO[key] = decomposed
+        return decomposed
+
+    def _decompose_disjoint_uncached(self, expr: Expr, target: int) -> list[tuple[Expr, int]] | None:
         if not isinstance(expr, BinExpr) or expr.op not in (
             BinOpKind.OR,
             BinOpKind.XOR,
@@ -512,8 +576,20 @@ class Solver:
         Used by propagation, which turns an overflowing inversion into a
         definite UNSAT (every implemented inversion step only ever *adds*
         free low bits, so an out-of-width canonical solution means every
-        solution is out of width).
+        solution is out of width).  Memoised per (node, target).
         """
+        key = (expr, target)
+        try:
+            return _INVERT_MEMO[key]
+        except KeyError:
+            pass
+        inverted = self._invert_raw_uncached(expr, target)
+        if len(_INVERT_MEMO) >= _ANALYSIS_MEMO_LIMIT:
+            _INVERT_MEMO.clear()
+        _INVERT_MEMO[key] = inverted
+        return inverted
+
+    def _invert_raw_uncached(self, expr: Expr, target: int) -> tuple[Sym, int] | None:
         occurrences = self._count_symbol_occurrences(expr)
         if len(occurrences) != 1 or next(iter(occurrences.values())) != 1:
             return None
@@ -615,7 +691,7 @@ class Solver:
         rng: random.Random,
         extra_candidates: dict[str, list[int]],
     ) -> bool:
-        unresolved = [simplify(substitute(c, assignment)) for c in constraints]
+        unresolved = [reduce_expr(c, assignment) for c in constraints]
         unresolved = [c for c in unresolved if not (isinstance(c, Const) and c.value)]
         if any(isinstance(c, Const) and c.value == 0 for c in unresolved):
             return False
@@ -659,7 +735,13 @@ class Solver:
         if budget[0] <= 0:
             return False
         if position == len(order):
-            return all(evaluate(c, assignment) for c in self._concrete(constraints, assignment))
+            # Equivalent to evaluating every fully-concrete reduction: the
+            # inputs are pre-reduced, so a reduction is symbol-free exactly
+            # when it is constant (non-constant reductions were never checked).
+            for c in constraints:
+                if reduce_concrete(c, assignment) == 0:
+                    return False
+            return True
         name = order[position]
         domain = domains.get(name)
         if domain is None:
@@ -696,19 +778,10 @@ class Solver:
             del assignment[name]
         return False
 
-    def _concrete(self, constraints: list[Expr], assignment: dict[str, int]) -> list[Expr]:
-        out = []
-        for constraint in constraints:
-            reduced = substitute(constraint, assignment)
-            if not symbols_of(reduced):
-                out.append(reduced)
-        return out
-
     def _consistent(self, constraints: list[Expr], assignment: dict[str, int]) -> bool:
         """Check constraints that have become fully concrete."""
         for constraint in constraints:
-            reduced = simplify(substitute(constraint, assignment))
-            if isinstance(reduced, Const) and reduced.value == 0:
+            if reduce_concrete(constraint, assignment) == 0:
                 return False
         return True
 
@@ -720,7 +793,7 @@ class Solver:
         for constraint in constraints:
             if not isinstance(constraint, CmpExpr) or constraint.pred is not CmpKind.EQ:
                 continue
-            reduced = simplify(substitute(constraint, assignment))
+            reduced = reduce_expr(constraint, assignment)
             if not isinstance(reduced, CmpExpr):
                 continue
             lhs, rhs = reduced.lhs, reduced.rhs

@@ -21,8 +21,22 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.symbex.expr import Const, Expr
+from repro.symbex.expr import Const, Expr, compiled_evaluator
 from repro.symbex.havoc import HavocRecord
+
+
+class ShadowAssignment(dict):
+    """Concrete shadow values for the concolic fast path.
+
+    Maps symbol names to the concrete values of the packet under
+    construction (the per-symbol defaults); symbols it has never seen —
+    e.g. fresh havoc outputs — read as 0, mirroring the solver's own
+    ``defaults.get(name, 0)`` fallback.  Shared read-only by every state of
+    one engine run.
+    """
+
+    def __missing__(self, key: str) -> int:
+        return 0
 
 if TYPE_CHECKING:  # pragma: no cover - avoid a package-level import cycle
     from repro.cache.model import CacheModel
@@ -140,6 +154,14 @@ class ExecutionState:
 
         self._fresh_symbol_counter = 0
 
+        # Concolic shadow (compiled exec mode): a shared concrete assignment
+        # seeded from the packet defaults, plus a per-state validity flag
+        # that survives only while the shadow satisfies every committed
+        # constraint.  While valid, branch feasibility on the side the
+        # shadow takes needs no solver query at all.
+        self.shadow: "ShadowAssignment | None" = None
+        self.shadow_valid = False
+
         # Round bookkeeping for the per-packet beam scheduler: the cost this
         # state carried into the current round, so per-round gains can be
         # reported without re-walking the metric history.
@@ -183,6 +205,8 @@ class ExecutionState:
         child.havoc_records = list(self.havoc_records)
         child.packet_actions = list(self.packet_actions)
         child._fresh_symbol_counter = self._fresh_symbol_counter
+        child.shadow = self.shadow
+        child.shadow_valid = self.shadow_valid
         child.round_cost_baseline = self.round_cost_baseline
         return child
 
@@ -294,6 +318,15 @@ class ExecutionState:
     def add_constraint(self, constraint: Expr) -> None:
         if isinstance(constraint, Const):
             return
+        if self.shadow_valid:
+            # Keep the concolic shadow honest: it stays usable only while it
+            # satisfies every committed constraint.  Invalidation is one-way
+            # (no repair), so this is a single concrete evaluation per add.
+            ev = constraint._evaluator
+            if ev is None:
+                ev = compiled_evaluator(constraint)
+            if not ev(self.shadow):
+                self.shadow_valid = False
         if self.solver_context is not None:
             self.solver_context.add(constraint)
         else:

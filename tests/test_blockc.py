@@ -1,0 +1,321 @@
+"""Compiled-vs-interpreted engine equivalence, and block-compiler units.
+
+The block compiler (``repro.symbex.blockc``) plus the concolic fast path
+must be *observationally identical* to the reference interpreter: same
+synthesized workloads, same costs, same path counts, same per-packet
+metrics, same fork order.  The differential below drives every evaluation
+NF through both ``exec_mode``s at smoke scale and compares everything the
+pipeline reports.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.castan import Castan
+from repro.core.config import CastanConfig
+from repro.core.workload import make_packet_symbols, symbol_defaults, workload_digest
+from repro.nf.registry import EVALUATION_NF_NAMES, get_nf
+from repro.symbex.blockc import compiled_module
+from repro.symbex.engine import SymbolicEngine
+from repro.symbex.searcher import CastanSearcher
+from repro.symbex.state import ShadowAssignment
+
+SMOKE = dict(max_states=60, num_packets=5, deadline_seconds=None)
+
+_MODES = ("interp", "compiled")
+
+
+@pytest.fixture(scope="module")
+def mode_results():
+    """One smoke-scale analysis of every evaluation NF per exec mode."""
+    results = {}
+    for mode in _MODES:
+        per_nf = {}
+        for name in EVALUATION_NF_NAMES:
+            config = CastanConfig(exec_mode=mode, **SMOKE)
+            per_nf[name] = Castan(config).analyze(get_nf(name))
+        results[mode] = per_nf
+    return results
+
+
+class TestCompiledInterpretedDifferential:
+    """Smoke-scale differential across all evaluation NFs."""
+
+    def test_covers_all_evaluation_nfs(self, mode_results):
+        assert len(EVALUATION_NF_NAMES) == 15
+        for mode in _MODES:
+            assert set(mode_results[mode]) == set(EVALUATION_NF_NAMES)
+
+    @pytest.mark.parametrize("name", EVALUATION_NF_NAMES)
+    def test_workloads_byte_identical(self, mode_results, name):
+        interp = mode_results["interp"][name]
+        compiled = mode_results["compiled"][name]
+        assert workload_digest(interp.packets) == workload_digest(compiled.packets)
+
+    @pytest.mark.parametrize("name", EVALUATION_NF_NAMES)
+    def test_costs_and_path_counts_identical(self, mode_results, name):
+        interp = mode_results["interp"][name]
+        compiled = mode_results["compiled"][name]
+        assert interp.best_state_cost == compiled.best_state_cost
+        assert interp.states_explored == compiled.states_explored
+        assert interp.forks == compiled.forks
+        assert interp.completed_paths == compiled.completed_paths
+        assert interp.solver_status == compiled.solver_status
+
+    @pytest.mark.parametrize("name", EVALUATION_NF_NAMES)
+    def test_per_packet_metrics_identical(self, mode_results, name):
+        # PathMetrics is a dataclass: == compares every per-packet series,
+        # including instruction counts — so fused-step charging must agree
+        # with per-instruction charging exactly.
+        assert mode_results["interp"][name].metrics == mode_results["compiled"][name].metrics
+
+
+def _make_engine(nf_name: str, exec_mode: str, num_packets: int = 2, **kwargs) -> SymbolicEngine:
+    nf = get_nf(nf_name)
+    packet_sets = make_packet_symbols(num_packets)
+    return SymbolicEngine(
+        module=nf.module,
+        entry=nf.entry,
+        packet_args=[ps.args for ps in packet_sets],
+        defaults=symbol_defaults(packet_sets, nf.packet_defaults),
+        hash_output_bits=nf.hash_output_bits,
+        exec_mode=exec_mode,
+        **kwargs,
+    )
+
+
+def _run_stats(engine: SymbolicEngine, **kwargs):
+    import itertools
+
+    from repro.symbex.state import ExecutionState
+
+    # Rebase the process-global state-id counter (as the shard runner does)
+    # so sids — and therefore fresh havoc-symbol names — line up exactly
+    # between the two modes' runs.
+    ExecutionState._ids = itertools.count(0)
+    return engine.run(CastanSearcher(), max_states=40, **kwargs)
+
+
+class TestEngineLevelEquivalence:
+    """SymbexStats equivalence at the engine API, below the Castan pipeline."""
+
+    @pytest.mark.parametrize("nf_name", ["lpm-patricia", "nat-hash-table", "dpi-trie"])
+    def test_symbex_stats_identical(self, nf_name):
+        stats = {}
+        for mode in _MODES:
+            stats[mode] = _run_stats(_make_engine(nf_name, mode))
+        a, b = stats["interp"], stats["compiled"]
+        assert a.states_explored == b.states_explored
+        assert a.instructions_executed == b.instructions_executed
+        assert a.forks == b.forks
+        assert a.infeasible_states == b.infeasible_states
+        assert a.error_states == b.error_states
+        assert [s.sid for s in a.completed_states] == [s.sid for s in b.completed_states]
+        assert [s.current_cost for s in a.completed_states] == [
+            s.current_cost for s in b.completed_states
+        ]
+        assert [(s.sid, s.current_cost) for s in a.pending_states] == [
+            (s.sid, s.current_cost) for s in b.pending_states
+        ]
+
+    def test_instruction_budget_fallback_matches_interpreter(self):
+        """A tiny per-state budget errors at the same instruction in both modes."""
+        for budget in (1, 3, 7, 19):
+            stats = {}
+            for mode in _MODES:
+                engine = _make_engine("lpm-patricia", mode)
+                stats[mode] = _run_stats(engine, max_instructions_per_state=budget)
+            a, b = stats["interp"], stats["compiled"]
+            assert a.error_states == b.error_states, f"budget={budget}"
+            assert a.instructions_executed == b.instructions_executed, f"budget={budget}"
+            assert a.states_explored == b.states_explored, f"budget={budget}"
+
+    def test_rejects_unknown_exec_mode(self):
+        with pytest.raises(ValueError, match="exec_mode"):
+            _make_engine("lpm-patricia", "jit")
+
+    def test_engine_pickle_roundtrip_recompiles(self):
+        """Compiled closures never pickle; the table is rebuilt on load."""
+        engine = _make_engine("lpm-patricia", "compiled")
+        assert engine._compiled_blocks is not None
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.exec_mode == "compiled"
+        assert clone._compiled_blocks is not None
+        stats = _run_stats(clone)
+        assert stats.states_explored > 0
+
+    def test_compiled_module_cache_is_per_identity(self):
+        nf = get_nf("lpm-patricia")
+        costs = CastanConfig().cycle_costs
+        first = compiled_module(nf.module, costs)
+        assert compiled_module(nf.module, costs) is first
+
+
+class TestConcolicShadow:
+    def test_shadow_missing_symbols_read_zero(self):
+        shadow = ShadowAssignment({"a": 7})
+        assert shadow["a"] == 7
+        assert shadow["never-seen"] == 0
+
+    def test_shadow_seeded_and_invalidated(self):
+        from repro.symbex.expr import Const, Sym, expr_eq
+
+        engine = _make_engine("lpm-patricia", "compiled")
+        state = engine.make_initial_state()
+        assert state.shadow is not None and state.shadow_valid
+        name = next(iter(state.shadow))
+        satisfied = expr_eq(Sym(name, bits=32), Const(state.shadow[name]))
+        state.add_constraint(satisfied)
+        assert state.shadow_valid  # still a witness
+        violated = expr_eq(Sym(name, bits=32), Const((state.shadow[name] + 1) & 0xFFFFFFFF))
+        state.add_constraint(violated)
+        assert not state.shadow_valid  # one-way invalidation
+        child = state.fork()
+        assert child.shadow is state.shadow and not child.shadow_valid
+
+    def test_interp_mode_has_no_shadow(self):
+        engine = _make_engine("lpm-patricia", "interp")
+        state = engine.make_initial_state()
+        assert state.shadow is None and not state.shadow_valid
+
+
+class TestCacheBatchReplay:
+    def test_default_batch_replays_in_order_and_aborts(self):
+        from repro.cache.model import CacheModel
+
+        replayed = []
+
+        class Recorder(CacheModel):
+            pass
+
+        def execute_one(model, plan):
+            replayed.append(plan)
+            return plan != "stop"
+
+        Recorder().on_access_batch(["a", "b", "stop", "never"], execute_one)
+        assert replayed == ["a", "b", "stop"]
+
+
+class TestExprFastPathInvariants:
+    def test_cached_hash_and_slots(self):
+        from repro.symbex.expr import BinExpr, Const, Sym, make_binop
+        from repro.ir.instructions import BinOpKind
+
+        expr = make_binop(BinOpKind.ADD, Sym("h.x", bits=16), Const(3))
+        assert hash(expr) == expr._hash
+        for node in (expr, Const(3), Sym("h.x", bits=16)):
+            assert not hasattr(node, "__dict__")  # __slots__ everywhere
+        # Interning: structural equality is identity.
+        assert make_binop(BinOpKind.ADD, Sym("h.x", bits=16), Const(3)) is expr
+        assert isinstance(expr, BinExpr)
+
+    def test_pickle_reduce_roundtrip_reinterns(self):
+        from repro.symbex.expr import Const, Sym, make_binop, make_cmp, make_select
+        from repro.ir.instructions import BinOpKind, CmpKind
+
+        expr = make_select(
+            make_cmp(CmpKind.ULT, Sym("p.s", bits=16), Const(99)),
+            make_binop(BinOpKind.XOR, Sym("p.s", bits=16), Const(0x5A)),
+            Const(1),
+        )
+        assert pickle.loads(pickle.dumps(expr)) is expr
+
+    def test_reduce_expr_matches_slow_form(self):
+        from repro.symbex.expr import (
+            Const,
+            Sym,
+            make_binop,
+            make_cmp,
+            reduce_concrete,
+            reduce_expr,
+            simplify,
+            substitute,
+        )
+        from repro.ir.instructions import BinOpKind, CmpKind
+
+        x, y, z = Sym("rx", bits=16), Sym("ry", bits=32), Sym("rz", bits=8)
+        exprs = [
+            make_binop(BinOpKind.ADD, make_binop(BinOpKind.MUL, x, Const(3)), y),
+            make_cmp(CmpKind.ULT, make_binop(BinOpKind.XOR, x, z), Const(77)),
+            make_binop(BinOpKind.AND, y, make_binop(BinOpKind.SHL, z, Const(4))),
+            make_cmp(CmpKind.EQ, make_binop(BinOpKind.OR, x, make_binop(BinOpKind.SHL, y, Const(16))), Const(0x1234_0042)),
+        ]
+        assignments = [
+            {},
+            {"rx": 5},
+            {"rx": 5, "ry": 1 << 20},
+            {"rx": 5, "ry": 1 << 20, "rz": 9},
+            {"ry": 0},
+            {"rz": 255},
+        ]
+        for expr in exprs:
+            for assignment in assignments:
+                slow = simplify(substitute(expr, assignment))
+                assert reduce_expr(expr, assignment) is slow
+                concrete = reduce_concrete(expr, assignment)
+                if concrete is not None:
+                    assert Const(concrete) is slow
+
+    def test_deep_expression_falls_back_to_closure_evaluator(self):
+        from repro.symbex.expr import BinExpr, Sym, compiled_evaluator
+        from repro.ir.instructions import BinOpKind
+
+        # A doubling DAG: shared subtree referenced twice per level would
+        # explode codegen source; the expanded-size guard must route it to
+        # closure trees.  (Evaluation itself is still exponential in the
+        # DAG depth — same as evaluate() — so keep the tower small.)
+        from repro.symbex.expr import _CODEGEN_MAX_EXPANDED, _expanded_size
+
+        node = Sym("deep", bits=16)
+        for _ in range(20):
+            node = BinExpr(BinOpKind.ADD, node, node)
+        assert _expanded_size(node) > _CODEGEN_MAX_EXPANDED
+        ev = compiled_evaluator(node)
+        assert ev({"deep": 1}) == 1 << 20
+
+    def test_engine_seed_states_resume_identically_between_modes(self):
+        """Paused beam states resume the same way in both exec modes."""
+        import itertools
+
+        from repro.symbex.state import ExecutionState
+
+        stats = {}
+        for mode in _MODES:
+            engine = _make_engine("nat-hash-table", mode, num_packets=3)
+            ExecutionState._ids = itertools.count(0)
+            first = engine.run(CastanSearcher(), max_states=8, stop_at_packet=1)
+            seeds = [s for s in first.paused_states + first.pending_states]
+            ExecutionState._ids = itertools.count(1000)
+            second = engine.run(CastanSearcher(), max_states=12, initial_states=seeds,
+                                stop_at_packet=2)
+            stats[mode] = (first, second)
+        (ia, ib), (ca, cb) = stats["interp"], stats["compiled"]
+        assert ia.states_explored == ca.states_explored
+        assert ia.instructions_executed == ca.instructions_executed
+        assert ib.states_explored == cb.states_explored
+        assert ib.instructions_executed == cb.instructions_executed
+        assert [s.sid for s in ib.paused_states] == [s.sid for s in cb.paused_states]
+
+
+class TestParallelIdentityBothModes:
+    """workers=0 vs workers=2 byte-identity holds in both exec modes."""
+
+    @pytest.mark.parametrize("mode", _MODES)
+    def test_sharded_beam_identity(self, mode):
+        digests = {}
+        for workers in (0, 2):
+            config = CastanConfig(
+                max_states=40,
+                num_packets=3,
+                deadline_seconds=None,
+                search_mode="beam",
+                parallel_mode="shards",
+                workers=workers,
+                exec_mode=mode,
+            )
+            result = Castan(config).analyze(get_nf("lpm-patricia"))
+            digests[workers] = (workload_digest(result.packets), result.best_state_cost)
+        assert digests[0] == digests[2]

@@ -1,0 +1,74 @@
+"""cProfile harness for the symbex hot loop (future perf work starts here).
+
+Profiles one full ``Castan`` analysis and prints the top functions, so a
+perf PR can see where the next wall of time is before touching code::
+
+    PYTHONPATH=src python tools/profile_symbex.py --nf nat-hash-table
+    PYTHONPATH=src python tools/profile_symbex.py --nf lpm-patricia \
+        --exec-mode interp --sort tottime --top 40
+    PYTHONPATH=src python tools/profile_symbex.py --nf nat-hash-ring \
+        --dump /tmp/ring.prof   # then: python -m pstats /tmp/ring.prof
+
+The analysis runs with the wall-clock deadline disabled (like the perf
+benchmark) so profiles are comparable across runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.core.castan import Castan
+from repro.core.config import CastanConfig
+from repro.nf.registry import NF_NAMES, get_nf
+
+
+def profile_analysis(
+    nf_name: str,
+    max_states: int,
+    exec_mode: str,
+    num_packets: int | None = None,
+) -> cProfile.Profile:
+    """Run one deterministic analysis under cProfile and return the profile."""
+    config = CastanConfig(
+        max_states=max_states,
+        deadline_seconds=None,
+        exec_mode=exec_mode,
+        num_packets=num_packets,
+    )
+    nf = get_nf(nf_name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = Castan(config).analyze(nf)
+    profiler.disable()
+    print(result.summary(), file=sys.stderr)
+    return profiler
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nf", default="nat-hash-table", choices=sorted(NF_NAMES))
+    parser.add_argument("--max-states", type=int, default=250)
+    parser.add_argument("--num-packets", type=int, default=None)
+    parser.add_argument("--exec-mode", default="compiled", choices=("compiled", "interp"))
+    parser.add_argument(
+        "--sort", default="cumulative",
+        choices=("cumulative", "tottime", "ncalls", "pcalls"),
+    )
+    parser.add_argument("--top", type=int, default=30, help="rows to print")
+    parser.add_argument("--dump", default=None, help="write raw stats here for pstats/snakeviz")
+    args = parser.parse_args(argv)
+
+    profiler = profile_analysis(args.nf, args.max_states, args.exec_mode, args.num_packets)
+    stats = pstats.Stats(profiler)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"wrote {args.dump}", file=sys.stderr)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
