@@ -39,17 +39,25 @@ SMOKE_MAX_STATES = 60
 SMOKE_NUM_PACKETS = 5
 
 
-def smoke_config() -> CastanConfig:
+def smoke_config(exec_mode: str = "compiled") -> CastanConfig:
     return CastanConfig(
         max_states=SMOKE_MAX_STATES,
         num_packets=SMOKE_NUM_PACKETS,
         deadline_seconds=None,
+        exec_mode=exec_mode,
     )
 
 
-def compute_report(nfs: tuple[str, ...] = EVALUATION_NFS, workers: int = 0) -> dict:
-    """Digest (and cost) of the smoke-scale workload for every NF."""
-    runner = PortfolioRunner(config=smoke_config(), workers=workers)
+def compute_report(
+    nfs: tuple[str, ...] = EVALUATION_NFS, workers: int = 0, exec_mode: str = "compiled"
+) -> dict:
+    """Digest (and cost) of the smoke-scale workload for every NF.
+
+    ``exec_mode`` selects the engine tier; every tier must reproduce the
+    same digests, so the baseline check doubles as the cross-tier identity
+    gate (the config block deliberately omits the mode).
+    """
+    runner = PortfolioRunner(config=smoke_config(exec_mode), workers=workers)
     results = runner.run_map(nfs)
     digests = {name: workload_digest(result.packets) for name, result in results.items()}
     best_costs = {name: result.best_state_cost for name, result in results.items()}
@@ -104,9 +112,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=0, help="portfolio worker processes")
     parser.add_argument("--out", default=None, help="write the JSON report to this path")
     parser.add_argument("--check", default=None, help="compare against this baseline JSON")
+    parser.add_argument(
+        "--exec-mode",
+        default="compiled",
+        choices=("compiled", "interp", "vector"),
+        help="engine tier to run (all tiers must match the same baseline)",
+    )
     args = parser.parse_args(argv)
 
-    report = compute_report(tuple(args.nfs), workers=args.workers)
+    report = compute_report(tuple(args.nfs), workers=args.workers, exec_mode=args.exec_mode)
     for name in args.nfs:
         print(f"{name:>20}: {report['digests'][name]}  cost={report['best_costs'][name]}")
     if args.out:

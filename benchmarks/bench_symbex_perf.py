@@ -275,19 +275,34 @@ def append_entry(path: Path, entry: dict) -> dict:
 
 
 def check_against_baseline(path: Path, entry: dict, min_ratio: float) -> int:
-    """Compare ``entry`` with the last committed trajectory entry.
+    """Compare ``entry`` with the last committed entry of the same exec mode.
 
     Aggregates states/sec over the NFs both runs measured; returns a
     non-zero exit code when the current run drops below
     ``min_ratio * baseline`` (the CI perf gate uses 0.75, i.e. "fail on a
-    >25% regression").
+    >25% regression").  The baseline is the most recent trajectory entry
+    whose ``exec_mode`` matches the current run: the tiers have different
+    throughput by design, so a cross-mode ratio would measure the tier gap,
+    not a code regression — that mismatch is a hard error, never a warning.
     """
     data = load_trajectory(path)
     if not data["trajectory"]:
         print(f"{path} has no trajectory entries; nothing to compare against")
         return 1
-    baseline = data["trajectory"][-1]
-    for knob in ("scale", "max_states", "exec_mode"):
+    baseline = None
+    for candidate in reversed(data["trajectory"]):
+        if candidate.get("exec_mode") == entry["exec_mode"]:
+            baseline = candidate
+            break
+    if baseline is None:
+        modes = sorted({e.get("exec_mode") for e in data["trajectory"]})
+        print(
+            f"ERROR: no trajectory entry in {path} ran with "
+            f"exec_mode={entry['exec_mode']!r} (recorded modes: {modes}); "
+            "append a same-mode baseline with --out before gating on it"
+        )
+        return 1
+    for knob in ("scale", "max_states"):
         if baseline.get(knob) != entry[knob]:
             print(
                 f"warning: baseline entry ({baseline.get('label')}) ran with "
@@ -361,7 +376,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--max-states", type=int, default=None, help="override exploration budget")
     parser.add_argument(
-        "--exec-mode", default="compiled", choices=("compiled", "interp"),
+        "--exec-mode", default="compiled", choices=("compiled", "interp", "vector"),
         help="engine execution mode to benchmark",
     )
     parser.add_argument("--label", default=None, help="trajectory entry label (e.g. pr5-compiled)")

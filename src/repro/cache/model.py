@@ -77,7 +77,7 @@ class CacheModel:
     ) -> CacheAccessDecision:
         raise NotImplementedError
 
-    def on_access_batch(self, plans, execute_one) -> None:
+    def on_access_batch(self, plans, execute_one, index_exprs=None) -> None:
         """Replay a straight-line run of memory accesses in order.
 
         The block-compiled engine groups consecutive loads/stores of a
@@ -89,10 +89,23 @@ class CacheModel:
         and returns False to abort the run (e.g. an out-of-bounds access
         errored the state).  Decisions and model-state updates are
         identical to per-access interpretation by construction.
+
+        ``index_exprs``, when given, is one row of a vectorized frontier
+        access matrix: a pre-resolved index expression per plan (``None``
+        for accesses whose index depends on an earlier load of the run —
+        those still resolve sequentially).  It is forwarded to
+        ``execute_one(model, plan, index_expr)`` purely to skip redundant
+        register reads; models that reorder or batch their bookkeeping may
+        also inspect the row directly.
         """
-        for plan in plans:
-            if not execute_one(self, plan):
-                return
+        if index_exprs is None:
+            for plan in plans:
+                if not execute_one(self, plan):
+                    return
+        else:
+            for plan, index_expr in zip(plans, index_exprs):
+                if not execute_one(self, plan, index_expr):
+                    return
 
     @property
     def stats(self) -> CacheModelStats:

@@ -52,8 +52,10 @@ class CastanConfig:
     strike_shards: int | None = None
     # Engine execution mode: "compiled" (default) runs block-compiled steps
     # with the concolic fast path (repro.symbex.blockc); "interp" is the
-    # reference per-instruction interpreter.  Outputs are byte-identical in
-    # both modes — "interp" exists as the semantic baseline and fallback.
+    # reference per-instruction interpreter; "vector" adds columnar
+    # many-states frontier stepping (repro.symbex.vexec) on top of the
+    # compiled tier, degrading to it when numpy is missing.  Outputs are
+    # byte-identical in all modes — "interp" is the semantic baseline.
     exec_mode: str = "compiled"
     # Searcher: "castan", "dfs", "bfs" or "random" (ablation).
     searcher: str = "castan"

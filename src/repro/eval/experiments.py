@@ -90,10 +90,10 @@ class EvalSettings:
         search_mode = os.environ.get("REPRO_SEARCH_MODE", "monolithic").lower()
         exec_mode = os.environ.get("REPRO_EXEC_MODE", "compiled").lower()
         workers_raw = os.environ.get("REPRO_WORKERS", "0")
-        if exec_mode not in ("compiled", "interp"):
+        if exec_mode not in ("compiled", "interp", "vector"):
             warnings.warn(
                 f"unrecognized REPRO_EXEC_MODE={exec_mode!r}; falling back to "
-                "'compiled' (options: compiled, interp)",
+                "'compiled' (options: compiled, interp, vector)",
                 RuntimeWarning,
                 stacklevel=2,
             )

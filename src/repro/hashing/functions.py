@@ -31,6 +31,37 @@ def flow_hash16(key: int) -> int:
     return (h ^ (h >> 16)) & FLOW_HASH_MASK
 
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the [vector] extra
+    _np = None
+
+if _np is None:
+    flow_hash16_column = None
+else:
+
+    def flow_hash16_column(keys) -> list[int]:
+        """Columnar :func:`flow_hash16` over a sequence of 64-bit keys.
+
+        Value-identical to ``[flow_hash16(k) for k in keys]``: the mixing
+        runs in uint64 with an explicit 32-bit mask after every step, so no
+        intermediate can overflow and every operation matches the scalar
+        arithmetic bit for bit (``tests/test_hashing.py`` pins this).
+        """
+        key = _np.asarray(keys, dtype=_np.uint64)
+        m32 = _np.uint64(MASK32)
+        h = _np.zeros(len(key), dtype=_np.uint64)
+        for byte_index in range(8):
+            byte = (key >> _np.uint64(byte_index * 8)) & _np.uint64(0xFF)
+            h = (h + byte) & m32
+            h = (h + ((h << _np.uint64(10)) & m32)) & m32
+            h = h ^ (h >> _np.uint64(6))
+        h = (h + ((h << _np.uint64(3)) & m32)) & m32
+        h = h ^ (h >> _np.uint64(11))
+        h = (h + ((h << _np.uint64(15)) & m32)) & m32
+        return [int(v) for v in ((h ^ (h >> _np.uint64(16))) & _np.uint64(FLOW_HASH_MASK))]
+
+
 # The same function written in the restricted-Python NF dialect.  NF sources
 # concatenate this snippet so the compiled module contains a `flow_hash16`
 # NFIL function the `castan_havoc` annotation can reference.

@@ -19,10 +19,14 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.hashing.functions import FLOW_HASH_BITS, flow_hash16, lb_flow_key
+from repro.hashing.functions import FLOW_HASH_BITS, flow_hash16, flow_hash16_column, lb_flow_key
 
 KeySampler = Callable[[int], int]
 HashFn = Callable[[int], int]
+
+#: Bound on the per-table reduction/tail memo dicts; when exceeded they are
+#: simply cleared (entries regenerate on demand).
+_MEMO_LIMIT = 1 << 18
 
 
 @dataclass
@@ -62,26 +66,63 @@ class RainbowTable:
         self.stats = RainbowTableStats(chains=num_chains, chain_length=chain_length)
         # end hash -> list of chain start keys
         self._chains: dict[int, list[int]] = {}
+        # Memo tables for the pure per-table computations below.  The key
+        # sampler is deterministic in its seed and the hash function is pure,
+        # so reductions, tail walks and chain prefixes can be cached without
+        # affecting results; only the stats counters in ``invert`` observe
+        # how often the *logical* operations happen, and those stay put.
+        self._reduce_memo: dict[tuple[int, int], int] = {}
+        self._tail_memo: dict[tuple[int, int], int] = {}
+        self._walk_memo: dict[int, list[int]] = {}
         self._build()
 
     # -- construction -----------------------------------------------------------
 
     def _reduce(self, hash_value: int, position: int) -> int:
         """Map a hash value (at chain position) back into the key space."""
-        seed = (hash_value * 0x9E3779B97F4A7C15 + position * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
-        return self.key_sampler(seed)
+        memo_key = (hash_value, position)
+        key = self._reduce_memo.get(memo_key)
+        if key is None:
+            seed = (hash_value * 0x9E3779B97F4A7C15 + position * 0xBF58476D1CE4E5B9) & (
+                (1 << 64) - 1
+            )
+            key = self.key_sampler(seed)
+            if len(self._reduce_memo) >= _MEMO_LIMIT:
+                self._reduce_memo.clear()
+            self._reduce_memo[memo_key] = key
+        return key
 
     def _build(self) -> None:
         rng = random.Random(self._seed)
-        for _ in range(self.num_chains):
-            start_key = self.key_sampler(rng.getrandbits(64))
-            key = start_key
-            hash_value = 0
+        # One getrandbits draw per chain, in chain order — the same stream
+        # the per-chain loop below consumes (key samplers are deterministic
+        # in their seed, so hoisting the draws cannot change any key).
+        starts = [self.key_sampler(rng.getrandbits(64)) for _ in range(self.num_chains)]
+        if self.hash_fn is flow_hash16 and flow_hash16_column is not None:
+            # Chains advance in lockstep so each position's hashes run as one
+            # numpy column; reductions stay scalar (the sampler's Mersenne
+            # stream has no columnar form).  Chain-major and position-major
+            # walks call the same (hash, position) reductions, and the final
+            # endpoint inserts below replay chain order, so the table is
+            # identical to the per-chain build.
+            keys = starts
+            mask = self.hash_mask
+            hashes: list[int] = []
             for position in range(self.chain_length):
-                hash_value = self.hash_fn(key) & self.hash_mask
+                hashes = [h & mask for h in flow_hash16_column(keys)]
                 if position < self.chain_length - 1:
-                    key = self._reduce(hash_value, position)
-            self._chains.setdefault(hash_value, []).append(start_key)
+                    keys = [self._reduce(h, position) for h in hashes]
+            for start_key, hash_value in zip(starts, hashes):
+                self._chains.setdefault(hash_value, []).append(start_key)
+        else:
+            for start_key in starts:
+                key = start_key
+                hash_value = 0
+                for position in range(self.chain_length):
+                    hash_value = self.hash_fn(key) & self.hash_mask
+                    if position < self.chain_length - 1:
+                        key = self._reduce(hash_value, position)
+                self._chains.setdefault(hash_value, []).append(start_key)
         self.stats.distinct_endpoints = len(self._chains)
 
     # -- inversion ---------------------------------------------------------------
@@ -95,10 +136,7 @@ class RainbowTable:
         # Try every possible position of the target within a chain, from the
         # end of the chain backwards (cheapest first).
         for position in range(self.chain_length - 1, -1, -1):
-            end_hash = target_hash
-            for later_position in range(position, self.chain_length - 1):
-                key = self._reduce(end_hash, later_position)
-                end_hash = self.hash_fn(key) & self.hash_mask
+            end_hash = self._tail(target_hash, position)
             for start_key in self._chains.get(end_hash, ()):
                 self.stats.chain_walks += 1
                 key = self._walk_chain(start_key, position)
@@ -116,13 +154,43 @@ class RainbowTable:
                         return found
         return found
 
+    def _tail(self, hash_value: int, position: int) -> int:
+        """End-of-chain hash reached from ``hash_value`` at ``position``.
+
+        Tail walks recompute suffixes of real chains, so lookups against
+        repeated or colliding targets revisit the same (hash, position)
+        states constantly; memoising the suffix result collapses the
+        classic O(chain_length²) lookup loop to its distinct prefix.
+        """
+        memo = self._tail_memo
+        stack: list[tuple[int, int]] = []
+        last = self.chain_length - 1
+        while position < last:
+            cached = memo.get((hash_value, position))
+            if cached is not None:
+                hash_value = cached
+                break
+            stack.append((hash_value, position))
+            hash_value = self.hash_fn(self._reduce(hash_value, position)) & self.hash_mask
+            position += 1
+        if stack:
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()
+            for entry in stack:
+                memo[entry] = hash_value
+        return hash_value
+
     def _walk_chain(self, start_key: int, position: int) -> int | None:
         """Return the key at ``position`` within the chain starting at ``start_key``."""
-        key = start_key
-        for current in range(position):
-            hash_value = self.hash_fn(key) & self.hash_mask
-            key = self._reduce(hash_value, current)
-        return key
+        chain = self._walk_memo.get(start_key)
+        if chain is None:
+            if len(self._walk_memo) >= self.num_chains * 2:
+                self._walk_memo.clear()
+            chain = self._walk_memo.setdefault(start_key, [start_key])
+        while len(chain) <= position:
+            key = chain[-1]
+            chain.append(self._reduce(self.hash_fn(key) & self.hash_mask, len(chain) - 1))
+        return chain[position]
 
     # -- introspection ------------------------------------------------------------
 
@@ -172,6 +240,17 @@ def generic_key_sampler(seed: int) -> int:
     return seed & ((1 << 64) - 1)
 
 
+#: Reused generator for :func:`udp_flow_key_sampler`.  ``Random.seed(n)``
+#: resets the full Mersenne Twister state exactly like ``Random(n)`` does, so
+#: reusing one instance is draw-for-draw identical to constructing a fresh
+#: one — it just skips the per-call object allocation.  The sampler runs in
+#: the single-threaded symbex hot loop (shards are separate processes), so
+#: the shared instance is safe.
+_SAMPLER_RNG = random.Random()
+
+_SERVICE_PORTS = (53, 80, 123, 443, 8080, 8443)
+
+
 def udp_flow_key_sampler(seed: int) -> int:
     """Tailored sampler: keys that look like UDP flow keys (§3.5).
 
@@ -179,12 +258,26 @@ def udp_flow_key_sampler(seed: int) -> int:
     a private-range source IP, an ephemeral source port and a small set of
     plausible service ports — so decomposed preimages satisfy the typical
     packet constraints without rejection.
+
+    The draws inline ``Random.randrange``/``Random.choice`` as raw
+    ``getrandbits`` rejection loops (the exact ``_randbelow`` algorithm), so
+    the value stream is bit-identical to the naive implementation —
+    ``tests/test_hashing.py`` pins this equivalence against a reference.
     """
-    rng = random.Random(seed)
-    src_ip = 0x0A000000 | rng.getrandbits(24)  # 10.0.0.0/8
-    src_port = 1024 + rng.randrange(60000)
-    dst_port = rng.choice((53, 80, 123, 443, 8080, 8443))
-    return lb_flow_key(src_ip, src_port, dst_port)
+    rng = _SAMPLER_RNG
+    rng.seed(seed)
+    gb = rng.getrandbits
+    src_ip = 0x0A000000 | gb(24)  # 10.0.0.0/8
+    # randrange(60000): 16-bit draws rejected until < 60000.
+    r = gb(16)
+    while r >= 60000:
+        r = gb(16)
+    src_port = 1024 + r
+    # choice(6-tuple): 3-bit draws rejected until < 6.
+    c = gb(3)
+    while c >= 6:
+        c = gb(3)
+    return lb_flow_key(src_ip, src_port, _SERVICE_PORTS[c])
 
 
 def build_flow_rainbow_table(

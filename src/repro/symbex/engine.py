@@ -56,8 +56,13 @@ from repro.symbex.state import ExecutionState, Frame, ShadowAssignment, StateSta
 
 #: Engine execution modes: "compiled" runs block-compiled steps with the
 #: concolic fast path; "interp" is the reference per-instruction
-#: interpreter.  Outputs are byte-identical between the two.
-EXEC_MODES = ("compiled", "interp")
+#: interpreter; "vector" adds columnar many-states stepping on top of the
+#: compiled tier (degrading to it when numpy is unavailable).  Outputs are
+#: byte-identical across all three.
+EXEC_MODES = ("compiled", "interp", "vector")
+
+#: Bound on the run-wide shadow-evaluation memo (cleared when exceeded).
+_SHADOW_MEMO_LIMIT = 1 << 16
 
 from typing import TYPE_CHECKING
 
@@ -184,12 +189,31 @@ class SymbolicEngine:
         :mod:`repro.symbex.blockc`; the concolic shadow seeds from the
         per-symbol packet defaults.  Neither is ever pickled.
         """
-        if self.exec_mode == "compiled":
+        if self.exec_mode in ("compiled", "vector"):
             self._compiled_blocks = compiled_module(self.module, self.cycle_costs)
             self._shadow: ShadowAssignment | None = ShadowAssignment(self.defaults)
         else:
             self._compiled_blocks = None
             self._shadow = None
+        self._vex = None
+        if self.exec_mode == "vector":
+            from repro.symbex import vexec
+
+            if vexec.numpy_available():
+                self._vex = vexec.VectorExecutor(
+                    self._blocks, self.module, self.cycle_costs
+                )
+            else:
+                # Graceful degradation: identical outputs on the compiled
+                # tier, just without the many-states grouping.
+                vexec.warn_numpy_missing()
+        # Access-matrix handoff from a vector memory buffer to the next
+        # compiled memory step of the same state (see execute_until_fork).
+        self._mem_hints: tuple | None = None
+        # expr -> bool under the run-wide concolic shadow.  Valid because
+        # the shadow is seeded once from the packet defaults and never
+        # mutated (states only flip their own shadow_valid bit).
+        self._shadow_eval_memo: dict[Expr, bool] = {}
 
     def __getstate__(self) -> dict:
         # Compiled steps are closures (unpicklable by design); shard workers
@@ -197,6 +221,9 @@ class SymbolicEngine:
         state = dict(self.__dict__)
         state["_compiled_blocks"] = None
         state["_shadow"] = None
+        state["_vex"] = None
+        state["_mem_hints"] = None
+        state["_shadow_eval_memo"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -277,6 +304,11 @@ class SymbolicEngine:
                 self.resume_state(state)
             self._update_priority(state)
             searcher.add(state)
+        vex = self._vex
+        if vex is not None:
+            # Vector tier: group the seed frontier up front (beam rounds
+            # seed many states parked at the same packet boundary)...
+            vex.build_buffers(searcher.iter_states())
 
         try:
             while not searcher.empty:
@@ -285,6 +317,11 @@ class SymbolicEngine:
                 if deadline_seconds is not None and time.monotonic() - start > deadline_seconds:
                     break
                 state = searcher.pop()
+                if vex is not None:
+                    # ...and rescan for peers whenever an ungrouped state
+                    # pops (a monolithic run grows its frontier mid-flight,
+                    # so this is where most groups form).
+                    vex.regroup(state, searcher)
                 stats.states_explored += 1
                 for outcome in self.execute_until_fork(state, max_instructions_per_state):
                     if outcome.status is StateStatus.RUNNING:
@@ -326,8 +363,18 @@ class SymbolicEngine:
         (possibly paused) state itself plus any children created at forks.
         Dispatches to the block-compiled driver or the reference
         interpreter according to ``exec_mode``; both produce identical
-        states, counters and fork order.
+        states, counters and fork order.  In vector mode a deferred group
+        step buffered on the state is applied (or peeled) first, then the
+        compiled driver continues mid-budget as if it had run that step
+        itself.
         """
+        vex = self._vex
+        if vex is not None:
+            self._mem_hints = None
+            executed, mem_row = vex.apply(self, state, max_instructions)
+            if mem_row is not None:
+                self._mem_hints = (state, mem_row)
+            return self._execute_until_fork_compiled(state, max_instructions, executed)
         if self._compiled_blocks is not None:
             return self._execute_until_fork_compiled(state, max_instructions)
         return self._interpret(state, [], 0, max_instructions)
@@ -365,7 +412,7 @@ class SymbolicEngine:
         return collected
 
     def _execute_until_fork_compiled(
-        self, state: ExecutionState, max_instructions: int
+        self, state: ExecutionState, max_instructions: int, executed: int = 0
     ) -> list[ExecutionState]:
         """Step compiled blocks until the state forks, completes, or errors.
 
@@ -373,9 +420,10 @@ class SymbolicEngine:
         count *before* the step runs; a step that would cross the limit
         hands the state to the reference interpreter loop, which exhausts
         the budget at exactly the instruction the interpreter would.
+        ``executed`` pre-charges instructions an applied vector buffer
+        already consumed, keeping the budget exact.
         """
         collected: list[ExecutionState] = []
-        executed = 0
         compiled = self._compiled_blocks
         while state.status is StateStatus.RUNNING:
             frame = state._frames[-1]
@@ -401,6 +449,25 @@ class SymbolicEngine:
         collected.append(state)
         return collected
 
+    def _shadow_eval(self, expr: Expr) -> bool:
+        """Whether ``expr`` holds under the run-wide concolic shadow (memoized).
+
+        Sound as a cache because every state's shadow is the same shared
+        (or content-equal, after unpickling) assignment and it is never
+        mutated; interning makes the expression itself the key.
+        """
+        memo = self._shadow_eval_memo
+        result = memo.get(expr)
+        if result is None:
+            ev = expr._evaluator
+            if ev is None:
+                ev = compiled_evaluator(expr)
+            if len(memo) >= _SHADOW_MEMO_LIMIT:
+                memo.clear()
+            result = bool(ev(self._shadow))
+            memo[expr] = result
+        return result
+
     def _memory_query_fns(self, state: ExecutionState):
         """The (feasible, solve_value) callbacks handed to the cache model.
 
@@ -415,12 +482,8 @@ class SymbolicEngine:
         solver = self.solver
 
         def feasible(constraint: Expr) -> bool:
-            if state.shadow_valid:
-                ev = constraint._evaluator
-                if ev is None:
-                    ev = compiled_evaluator(constraint)
-                if ev(state.shadow):
-                    return True
+            if state.shadow_valid and self._shadow_eval(constraint):
+                return True
             if context is not None:
                 return context.feasible_with(constraint)
             return solver.quick_feasible(state.constraints + [constraint])
@@ -451,12 +514,26 @@ class SymbolicEngine:
         feasible, solve_value = self._memory_query_fns(state)
         apply_access = self._apply_access
 
-        def execute_one(model, plan) -> bool:
+        # A vector memory buffer left this run's access matrix row for us:
+        # pre-resolved index expressions, exact because the buffer's key was
+        # validated against the state's position (registers are unchanged
+        # since grouping) and non-prefetchable slots are None.
+        hints = None
+        pending = self._mem_hints
+        if pending is not None and pending[0] is state:
+            self._mem_hints = None
+            if len(pending[1]) == len(plans):
+                hints = pending[1]
+
+        def execute_one(model, plan, index_expr=None) -> bool:
             state.instructions_retired += 1
             if stats is not None:
                 stats.instructions_executed += 1
-            regs = state._frames[-1].registers
-            index_expr = regs[plan.index_reg] if plan.index_reg is not None else plan.index_const
+            if index_expr is None:
+                regs = state._frames[-1].registers
+                index_expr = (
+                    regs[plan.index_reg] if plan.index_reg is not None else plan.index_const
+                )
             if plan.is_write:
                 if plan.value_reg is not None:
                     # Re-read the register file at call time: an earlier load
@@ -474,7 +551,7 @@ class SymbolicEngine:
                 feasible=feasible, solve_value=solve_value,
             )
 
-        state.cache_model.on_access_batch(plans, execute_one)
+        state.cache_model.on_access_batch(plans, execute_one, index_exprs=hints)
         return state.status is StateStatus.RUNNING
 
     # -- instruction dispatch ----------------------------------------------------------
@@ -695,10 +772,7 @@ class SymbolicEngine:
             # whichever side it takes is satisfiable — and the optimistic
             # feasibility check returns True on every satisfiable side.
             # Only the other side needs a solver query.
-            ev = cond._evaluator
-            if ev is None:
-                ev = compiled_evaluator(cond)
-            if ev(state.shadow):
+            if self._shadow_eval(cond):
                 feasible_true = True
                 feasible_false = query(false_constraint)
             else:

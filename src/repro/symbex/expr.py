@@ -508,6 +508,53 @@ def compiled_evaluator(expr: Expr):
     return ev
 
 
+def _interpret(expr: Expr, a: dict) -> int:
+    """One-shot tree-walk evaluation (no caching, no codegen).
+
+    Value-identical to ``compiled_evaluator(expr)(a)``: symbols read
+    ``a[name] & mask``, binops/compares apply ``BINOP_FUNCS``/``CMP_FUNCS``
+    (the same tables codegen templates encode), and only the taken branch
+    of a select evaluates.  Used for expressions seen fully-assigned for
+    the first time, where a ~40µs codegen compile for a single evaluation
+    is the dominant cost; nodes that already own an evaluator use it.
+    """
+    kind = type(expr)
+    if kind is Const:
+        return expr.value
+    if kind is Sym:
+        return a[expr.name] & expr.mask
+    ev = expr._evaluator
+    if ev is not None:
+        return ev(a)
+    if kind is BinExpr:
+        return BINOP_FUNCS[expr.op](_interpret(expr.lhs, a), _interpret(expr.rhs, a))
+    if kind is CmpExpr:
+        return CMP_FUNCS[expr.pred](_interpret(expr.lhs, a), _interpret(expr.rhs, a))
+    if kind is SelectExpr:
+        if _interpret(expr.cond, a):
+            return _interpret(expr.if_true, a)
+        return _interpret(expr.if_false, a)
+    raise TypeError(f"cannot evaluate {expr!r}")
+
+
+#: Fully-assigned expressions evaluated exactly once so far: the second
+#: sighting pays for a compiled evaluator, the first walks the tree.
+_EVAL_ONCE_LIMIT = 1 << 17
+_EVAL_ONCE: set[Expr] = set()
+
+
+def _eval_fully_assigned(expr: Expr, assignment: dict[str, int]) -> int:
+    ev = expr._evaluator
+    if ev is not None:
+        return ev(assignment)
+    if expr in _EVAL_ONCE:
+        return compiled_evaluator(expr)(assignment)
+    if len(_EVAL_ONCE) >= _EVAL_ONCE_LIMIT:
+        _EVAL_ONCE.clear()
+    _EVAL_ONCE.add(expr)
+    return _interpret(expr, assignment)
+
+
 #: Bound on the reduction memo; when exceeded the table is cleared (entries
 #: regenerate on demand, sharing is the only thing lost).
 _REDUCE_MEMO_LIMIT = 1 << 17
@@ -542,10 +589,7 @@ def reduce_expr(expr: Expr, assignment: dict[str, int]) -> Expr:
     if not hit:
         return simplify(expr)
     if not missing:
-        ev = expr._evaluator
-        if ev is None:
-            ev = compiled_evaluator(expr)
-        return Const(ev(assignment))
+        return Const(_eval_fully_assigned(expr, assignment))
     sorted_names = _SORTED_NAMES.get(expr)
     if sorted_names is None:
         sorted_names = tuple(sorted(names))
@@ -581,10 +625,7 @@ def reduce_concrete(expr: Expr, assignment: dict[str, int]) -> int | None:
     if not hit:
         return None
     if not missing:
-        ev = expr._evaluator
-        if ev is None:
-            ev = compiled_evaluator(expr)
-        return ev(assignment)
+        return _eval_fully_assigned(expr, assignment)
     reduced = reduce_expr(expr, assignment)
     if reduced.__class__ is Const:
         return reduced.value
@@ -596,6 +637,7 @@ def _clear_reduction_caches() -> None:
     _SORTED_NAMES.clear()
     _SUBSTITUTE_MEMO.clear()
     _EXPANDED_SIZE_MEMO.clear()
+    _EVAL_ONCE.clear()
 
 
 # The reduction memo keys on interned nodes; it must not outlive them.
@@ -849,3 +891,164 @@ def substitute(expr: Expr, assignment: dict[str, int]) -> Expr:
 def expr_depth(expr: Expr) -> int:
     """Tree depth of an expression (used to cap solver effort)."""
     return expr.depth
+
+
+# -- columnar (many-lanes) evaluation ------------------------------------------------
+#
+# The vectorized frontier tier (repro.symbex.vexec) and the solver's
+# candidate screen evaluate the *same* expression under many assignments at
+# once: one column per symbol, one lane per frontier state (or per candidate
+# value).  The per-op implementations below mirror BINOP_FUNCS / CMP_FUNCS
+# exactly on uint64 columns — wrap-around ADD/SUB/MUL, shifts >= 64 yielding
+# 0, total division (x/0 = MACHINE_MASK, x%0 = x) and 0/1 comparisons — so a
+# columnar evaluation of lane i always equals the scalar evaluation under
+# that lane's assignment.
+
+try:  # numpy is the optional [vector] extra; every columnar path is gated.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the degradation tests
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+def _vec_tables():
+    np = _np
+    u64 = np.uint64
+    zero = u64(0)
+    mask = u64(MACHINE_MASK)
+    shift_cap = u64(63)
+    one = u64(1)
+    bits = u64(MACHINE_BITS)
+
+    def shl(x, y):
+        ok = np.less(y, bits)
+        return np.where(ok, np.left_shift(x, np.minimum(y, shift_cap)), zero)
+
+    def lshr(x, y):
+        ok = np.less(y, bits)
+        return np.where(ok, np.right_shift(x, np.minimum(y, shift_cap)), zero)
+
+    def udiv(x, y):
+        nz = np.not_equal(y, zero)
+        return np.where(nz, np.floor_divide(x, np.where(nz, y, one)), mask)
+
+    def urem(x, y):
+        nz = np.not_equal(y, zero)
+        return np.where(nz, np.remainder(x, np.where(nz, y, one)), x)
+
+    binop = {
+        BinOpKind.ADD: np.add,
+        BinOpKind.SUB: np.subtract,
+        BinOpKind.MUL: np.multiply,
+        BinOpKind.UDIV: udiv,
+        BinOpKind.UREM: urem,
+        BinOpKind.AND: np.bitwise_and,
+        BinOpKind.OR: np.bitwise_or,
+        BinOpKind.XOR: np.bitwise_xor,
+        BinOpKind.SHL: shl,
+        BinOpKind.LSHR: lshr,
+    }
+
+    def mk_cmp(fn):
+        def cmp(x, y, _fn=fn):
+            return _fn(x, y).astype(u64)
+
+        return cmp
+
+    cmp = {
+        CmpKind.EQ: mk_cmp(np.equal),
+        CmpKind.NE: mk_cmp(np.not_equal),
+        CmpKind.ULT: mk_cmp(np.less),
+        CmpKind.ULE: mk_cmp(np.less_equal),
+        CmpKind.UGT: mk_cmp(np.greater),
+        CmpKind.UGE: mk_cmp(np.greater_equal),
+    }
+    return binop, cmp
+
+
+#: numpy-ufunc twins of BINOP_FUNCS / CMP_FUNCS (None without numpy).
+VEC_BINOP_FUNCS, VEC_CMP_FUNCS = _vec_tables() if HAVE_NUMPY else (None, None)
+
+_COLUMN_EVALUATORS: dict[Expr, object] = {}
+
+
+def _clear_column_evaluators() -> None:
+    _COLUMN_EVALUATORS.clear()
+
+
+register_cache_clear_hook(_clear_column_evaluators)
+
+
+def _build_column_evaluator(expr: Expr):
+    np = _np
+    if expr.__class__ is Const:
+        value = np.uint64(expr.value)
+
+        def ev(columns, _v=value):
+            return _v
+
+        return ev
+    if expr.__class__ is Sym:
+        name = expr.name
+        if expr.bits == MACHINE_BITS:
+
+            def ev(columns, _n=name):
+                return columns[_n]
+
+            return ev
+        mask = np.uint64(expr.mask)
+
+        def ev(columns, _n=name, _m=mask):
+            return np.bitwise_and(columns[_n], _m)
+
+        return ev
+    if expr.__class__ is BinExpr:
+        fn = VEC_BINOP_FUNCS[expr.op]
+        lhs = column_evaluator(expr.lhs)
+        rhs = column_evaluator(expr.rhs)
+
+        def ev(columns, _f=fn, _l=lhs, _r=rhs):
+            return _f(_l(columns), _r(columns))
+
+        return ev
+    if expr.__class__ is CmpExpr:
+        fn = VEC_CMP_FUNCS[expr.pred]
+        lhs = column_evaluator(expr.lhs)
+        rhs = column_evaluator(expr.rhs)
+
+        def ev(columns, _f=fn, _l=lhs, _r=rhs):
+            return _f(_l(columns), _r(columns))
+
+        return ev
+    if expr.__class__ is SelectExpr:
+        # Both branches are evaluated (they are total functions, so this is
+        # value-identical to the scalar short-circuit) and merged lanewise.
+        cond = column_evaluator(expr.cond)
+        if_true = column_evaluator(expr.if_true)
+        if_false = column_evaluator(expr.if_false)
+        zero = np.uint64(0)
+
+        def ev(columns, _c=cond, _t=if_true, _f=if_false, _z=zero):
+            return np.where(np.not_equal(_c(columns), _z), _t(columns), _f(columns))
+
+        return ev
+    raise TypeError(f"cannot build a column evaluator for {expr!r}")
+
+
+def column_evaluator(expr: Expr):
+    """A callable mapping ``{symbol name: uint64 column}`` to a result column.
+
+    Lane ``i`` of the result equals ``evaluate(expr, {n: int(col[n][i])})``
+    for every expression: the per-op kernels replicate the exact 64-bit
+    semantics of :data:`BINOP_FUNCS` / :data:`CMP_FUNCS`.  Evaluators are
+    cached per interned node (cleared with the expression caches).  Returns
+    ``None`` when numpy is unavailable.
+    """
+    if not HAVE_NUMPY:
+        return None
+    ev = _COLUMN_EVALUATORS.get(expr)
+    if ev is None:
+        ev = _build_column_evaluator(expr)
+        _COLUMN_EVALUATORS[expr] = ev
+    return ev

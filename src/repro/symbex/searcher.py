@@ -29,6 +29,16 @@ class Searcher:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def iter_states(self):
+        """Read-only view of every pending state, in no particular order.
+
+        The vectorized frontier tier scans this at pop time to find peers
+        parked at the same program point; enumeration must not disturb the
+        pop order.  Searchers that cannot enumerate cheaply may return an
+        empty iterable — grouping is an optimisation, never a requirement.
+        """
+        return ()
+
     @property
     def empty(self) -> bool:
         return len(self) == 0
@@ -68,6 +78,9 @@ class CastanSearcher(Searcher):
     def __len__(self) -> int:
         return len(self._heap)
 
+    def iter_states(self):
+        return [entry[2] for entry in self._heap]
+
 
 class DepthFirstSearcher(Searcher):
     """LIFO exploration (KLEE's DFS) — ablation baseline."""
@@ -84,6 +97,9 @@ class DepthFirstSearcher(Searcher):
     def __len__(self) -> int:
         return len(self._stack)
 
+    def iter_states(self):
+        return list(self._stack)
+
 
 class BreadthFirstSearcher(Searcher):
     """FIFO exploration — ablation baseline."""
@@ -99,6 +115,9 @@ class BreadthFirstSearcher(Searcher):
 
     def __len__(self) -> int:
         return len(self._queue)
+
+    def iter_states(self):
+        return list(self._queue)
 
 
 class RandomSearcher(Searcher):
@@ -118,6 +137,9 @@ class RandomSearcher(Searcher):
 
     def __len__(self) -> int:
         return len(self._states)
+
+    def iter_states(self):
+        return list(self._states)
 
 
 SEARCHERS = {

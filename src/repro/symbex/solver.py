@@ -36,6 +36,7 @@ from repro.symbex.expr import (
     Expr,
     SelectExpr,
     Sym,
+    column_evaluator,
     evaluate,
     reduce_concrete,
     reduce_expr,
@@ -43,6 +44,7 @@ from repro.symbex.expr import (
     simplify,
     symbols_of,
 )
+from repro.symbex.expr import _np as _NP  # None without the [vector] extra
 
 MACHINE_MASK = (1 << 64) - 1
 
@@ -56,6 +58,8 @@ _MASKED_SHIFT_MEMO: dict[Expr, "tuple[Sym, int, int] | None"] = {}
 _INVERT_MEMO: dict[tuple, "tuple[Sym, int] | None"] = {}
 _DECOMPOSE_MEMO: dict[tuple, "list[tuple[Expr, int]] | None"] = {}
 _POSSIBLE_BITS_MEMO: dict[Expr, "int | None"] = {}
+#: Compiled propagation plans (see ``Solver._propagate_one``).
+_PROPAGATE_PLAN_MEMO: dict[Expr, tuple] = {}
 
 _ANALYSIS_MEMO_LIMIT = 1 << 17
 
@@ -65,6 +69,7 @@ def _clear_analysis_memos() -> None:
     _INVERT_MEMO.clear()
     _DECOMPOSE_MEMO.clear()
     _POSSIBLE_BITS_MEMO.clear()
+    _PROPAGATE_PLAN_MEMO.clear()
 
 
 register_cache_clear_hook(_clear_analysis_memos)
@@ -161,35 +166,93 @@ class _Domain:
 
     def candidates(self, rng: random.Random, limit: int = 12) -> list[int]:
         """Concrete values to try during backtracking, most promising first."""
-        base = self.known_value & self.known_mask
-        free = self.symbol.mask & ~self.known_mask
+        sym_mask = self.symbol.mask
+        known_mask = self.known_mask
+        known_bits = self.known_value & known_mask
+        lo, hi = self.lo, self.hi
+        exclusions = self.exclusions
+        base = known_bits
+        free = sym_mask & ~known_mask
         out: list[int] = []
+        # ``seen`` also records values the filters rejected: re-pushing a
+        # rejected value is a no-op either way, and skipping the re-check is
+        # the point (this is the solver's hottest function).
+        seen: set[int] = set()
 
         def push(value: int) -> None:
-            value &= self.symbol.mask
-            if (value & self.known_mask) != (self.known_value & self.known_mask):
+            value &= sym_mask
+            if value in seen:
                 return
-            if not (self.lo <= value <= self.hi):
+            seen.add(value)
+            if (value & known_mask) != known_bits:
                 return
-            if value in self.exclusions:
+            if not (lo <= value <= hi):
                 return
-            if value not in out:
-                out.append(value)
+            if value in exclusions:
+                return
+            out.append(value)
 
         push(base)
         push(base | free)  # all free bits set
-        push(max(self.lo, base))
-        push(min(self.hi, base | free))
+        push(max(lo, base))
+        push(min(hi, base | free))
         # Small intervals (e.g. produced by port-range or count constraints)
         # are enumerated exhaustively so exclusions cannot starve the search.
-        if self.hi - self.lo < limit * 4:
-            for value in range(self.lo, self.hi + 1):
+        if hi - lo < limit * 4:
+            for value in range(lo, hi + 1):
                 push(value)
         attempts = 0
+        getrandbits = rng.getrandbits
         while len(out) < limit and attempts < limit * 4:
             attempts += 1
-            push(base | (rng.getrandbits(64) & free))
+            push(base | (getrandbits(64) & free))
         return out
+
+
+class _TrackedDomains:
+    """Signature-tracking view over a domains dict for ``_propagate``.
+
+    ``_propagate_one`` optimistically reports progress whenever a pattern
+    matches, even when the domain write was a no-op; taken at face value
+    that spins ``_propagate`` to its rounds cap on every query.  This view
+    records each domain's signature on first access per round so the loop
+    can wake up only on *real* change — the same trick
+    ``incremental._CowDomains`` uses, minus the copy-on-write (monolithic
+    solving owns its domains).  A round with no signature change, no new
+    domain and no assignment promotion is a proven fixpoint: every later
+    round would re-reduce the same constraints against the same domains and
+    repeat the same idempotent writes.
+    """
+
+    __slots__ = ("base", "pre_signatures")
+
+    def __init__(self, base: dict[str, _Domain]) -> None:
+        self.base = base
+        self.pre_signatures: dict[str, "tuple | None"] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.base
+
+    def __getitem__(self, name: str) -> _Domain:
+        domain = self.base[name]
+        if name not in self.pre_signatures:
+            self.pre_signatures[name] = domain.signature()
+        return domain
+
+    def __setitem__(self, name: str, domain: _Domain) -> None:
+        if name not in self.pre_signatures:
+            self.pre_signatures[name] = None  # newly created: counts as change
+        self.base[name] = domain
+
+    def round_changed(self) -> bool:
+        base = self.base
+        return any(
+            pre is None or base[name].signature() != pre
+            for name, pre in self.pre_signatures.items()
+        )
+
+    def reset_round(self) -> None:
+        self.pre_signatures = {}
 
 
 class Solver:
@@ -308,7 +371,9 @@ class Solver:
     ) -> tuple[str, list[Expr]]:
         """Fixed-point propagation; returns (status, unresolved constraints)."""
         pending = list(constraints)
+        tracked = _TrackedDomains(domains)
         for _round in range(32):
+            tracked.reset_round()
             changed = False
             unresolved: list[Expr] = []
             for constraint in pending:
@@ -317,11 +382,8 @@ class Solver:
                     if reduced.value == 0:
                         return "unsat", []
                     continue
-                outcome = self._propagate_one(reduced, assignment, domains)
-                if outcome == "unsat":
+                if self._propagate_one(reduced, assignment, tracked) == "unsat":
                     return "unsat", []
-                if outcome == "changed":
-                    changed = True
                 unresolved.append(reduced)
             # Promote fully-known domains to assignments.
             for name, domain in domains.items():
@@ -332,15 +394,35 @@ class Solver:
                     assignment[name] = value
                     changed = True
             pending = unresolved
-            if not changed:
+            if not changed and not tracked.round_changed():
                 break
         return "ok", pending
 
     def _propagate_one(
         self, constraint: Expr, assignment: dict[str, int], domains: dict[str, _Domain]
     ) -> str:
+        """Propagate one reduced constraint into the domains.
+
+        The pattern analysis (masked-shift match, algebraic inversion,
+        disjoint decomposition) is a pure function of the interned constraint
+        node, so it compiles once into a small *plan* tuple that later calls
+        replay against the current domains.  The plan preserves every domain
+        *touch* of the direct implementation — tracked-domain views count a
+        first access as potential change, so even a touch on an unsat path
+        is observable in the propagation round count.
+        """
+        try:
+            plan = _PROPAGATE_PLAN_MEMO[constraint]
+        except KeyError:
+            plan = self._compile_propagation(constraint)
+            if len(_PROPAGATE_PLAN_MEMO) >= _ANALYSIS_MEMO_LIMIT:
+                _PROPAGATE_PLAN_MEMO.clear()
+            _PROPAGATE_PLAN_MEMO[constraint] = plan
+        return self._apply_propagation(plan, domains)
+
+    def _compile_propagation(self, constraint: Expr) -> tuple:
         if not isinstance(constraint, CmpExpr):
-            return "none"
+            return ("none", None)
         lhs, rhs, pred = constraint.lhs, constraint.rhs, constraint.pred
         # Normalise so the constant (if any) is on the right.
         if isinstance(lhs, Const) and not isinstance(rhs, Const):
@@ -352,61 +434,81 @@ class Solver:
                 CmpKind.UGE: CmpKind.ULE,
             }.get(pred, pred)
         if not isinstance(rhs, Const):
-            return "none"
-        target = rhs.value
+            return ("none", None)
+        return self._compile_propagation_pred(pred, lhs, rhs.value)
 
+    def _compile_propagation_pred(self, pred: CmpKind, lhs: Expr, target: int) -> tuple:
         if pred is CmpKind.EQ:
             matched = self._match_masked_shift(lhs)
             if matched is not None:
                 symbol, shift, mask = matched
-                domain = self._domain_for(symbol, domains)
                 if target & ~mask:
-                    return "unsat"
-                if not domain.set_bits(mask << shift, (target & mask) << shift):
-                    return "unsat"
-                return "changed"
+                    return ("unsat", symbol)
+                return ("bits", symbol, mask << shift, (target & mask) << shift)
             inverted = self._invert_raw(lhs, target)
             if inverted is not None:
                 symbol, value = inverted
-                domain = self._domain_for(symbol, domains)
                 if value > symbol.mask:
-                    return "unsat"
-                if not domain.set_bits(symbol.mask, value):
-                    return "unsat"
-                return "changed"
+                    return ("unsat", symbol)
+                return ("bits", symbol, symbol.mask, value)
             decomposed = self._decompose_disjoint(lhs, target)
             if decomposed is not None:
-                outcome = "none"
-                for sub_expr, sub_target in decomposed:
-                    sub_result = self._propagate_one(
-                        CmpExpr(pred=CmpKind.EQ, lhs=sub_expr, rhs=Const(sub_target)),
-                        assignment,
-                        domains,
-                    )
-                    if sub_result == "unsat":
-                        return "unsat"
-                    if sub_result == "changed":
-                        outcome = "changed"
-                return outcome
-            return "none"
+                return (
+                    "multi",
+                    tuple(
+                        self._compile_propagation_pred(CmpKind.EQ, sub_expr, sub_target)
+                        for sub_expr, sub_target in decomposed
+                    ),
+                )
+            return ("none", None)
 
         if isinstance(lhs, Sym):
-            domain = self._domain_for(lhs, domains)
             if pred is CmpKind.NE:
-                if len(domain.exclusions) < 4096:
-                    domain.exclusions.add(target & lhs.mask)
-                return "changed"
+                return ("excl", lhs, target & lhs.mask)
             if pred is CmpKind.ULT:
-                ok = domain.constrain_interval(hi=target - 1) if target > 0 else False
-            elif pred is CmpKind.ULE:
-                ok = domain.constrain_interval(hi=target)
-            elif pred is CmpKind.UGT:
-                ok = domain.constrain_interval(lo=target + 1)
-            elif pred is CmpKind.UGE:
-                ok = domain.constrain_interval(lo=target)
-            else:
-                return "none"
-            return "changed" if ok else "unsat"
+                return ("hi", lhs, target - 1) if target > 0 else ("unsat", lhs)
+            if pred is CmpKind.ULE:
+                return ("hi", lhs, target)
+            if pred is CmpKind.UGT:
+                return ("lo", lhs, target + 1)
+            if pred is CmpKind.UGE:
+                return ("lo", lhs, target)
+            return ("none", lhs)  # unreachable with the current CmpKind set
+        return ("none", None)
+
+    def _apply_propagation(self, plan: tuple, domains: dict[str, _Domain]) -> str:
+        tag = plan[0]
+        if tag == "bits":
+            domain = self._domain_for(plan[1], domains)
+            if not domain.set_bits(plan[2], plan[3]):
+                return "unsat"
+            return "changed"
+        if tag == "multi":
+            outcome = "none"
+            for sub in plan[1]:
+                result = self._apply_propagation(sub, domains)
+                if result == "unsat":
+                    return "unsat"
+                if result == "changed":
+                    outcome = "changed"
+            return outcome
+        if tag == "lo":
+            domain = self._domain_for(plan[1], domains)
+            return "changed" if domain.constrain_interval(lo=plan[2]) else "unsat"
+        if tag == "hi":
+            domain = self._domain_for(plan[1], domains)
+            return "changed" if domain.constrain_interval(hi=plan[2]) else "unsat"
+        if tag == "excl":
+            domain = self._domain_for(plan[1], domains)
+            if len(domain.exclusions) < 4096:
+                domain.exclusions.add(plan[2])
+            return "changed"
+        if tag == "unsat":
+            if plan[1] is not None:
+                self._domain_for(plan[1], domains)
+            return "unsat"
+        if plan[1] is not None:
+            self._domain_for(plan[1], domains)
         return "none"
 
     def _domain_for(self, symbol: Sym, domains: dict[str, _Domain]) -> _Domain:
@@ -753,24 +855,95 @@ class Solver:
         relevant = by_symbol.get(name, [])
         candidates = list(extra_candidates.get(name, []))
         candidates += self._suggest_from_constraints(name, relevant, assignment)
-        candidates += domain.candidates(rng)
+
+        # De-duplicate and apply the domain filters up front (pure and
+        # per-candidate, so hoisting preserves the original order and the
+        # budget trajectory: filtered-out candidates never charged budget).
+        mask = domain.symbol.mask
+        exclusions = domain.exclusions
+        lo, hi = domain.lo, domain.hi
+        known_mask = domain.known_mask
+        known_bits = domain.known_value & known_mask
         seen: set[int] = set()
+        filtered: list[int] = []
         for candidate in candidates:
-            candidate &= domain.symbol.mask
+            candidate &= mask
             if candidate in seen:
                 continue
             seen.add(candidate)
-            if candidate in domain.exclusions or not (domain.lo <= candidate <= domain.hi):
+            if candidate in exclusions or not (lo <= candidate <= hi):
                 continue
-            if (candidate & domain.known_mask) != (domain.known_value & domain.known_mask):
+            if (candidate & known_mask) != known_bits:
                 continue
+            filtered.append(candidate)
+        # ``domain.candidates`` values already passed these exact filters
+        # (same domain state, same masking), so the suffix only needs the
+        # dedup — including against values the filters rejected above, which
+        # the one-pass loop also skipped via ``seen``.
+        for candidate in domain.candidates(rng):
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            filtered.append(candidate)
+        if not filtered:
+            return False
+
+        # Residual candidate screen (columnar): a relevant constraint whose
+        # other symbols are all assigned reduces — under the assignment
+        # *without* ``name`` — to a residual over {name} alone.  Its value at
+        # ``{name: candidate}`` equals ``reduce_concrete`` under the
+        # candidate-extended assignment (reduction is exact, and a fully
+        # covered reduction always collapses to the evaluator's value), so
+        # the per-candidate verdicts can be computed for the whole column in
+        # a handful of numpy ops instead of one full-expression evaluation
+        # per candidate.  ``_consistent`` is pure, so checking the ready
+        # constraints ahead of the rest cannot change which candidate
+        # ultimately recurses.  Without numpy the original scalar path runs.
+        screen = None
+        const_fail = False
+        general = relevant
+        if _NP is not None and relevant:
+            ready: list[Expr] = []
+            general = []
+            for c in relevant:
+                for n in c.symbol_names:
+                    if n != name and n not in assignment:
+                        general.append(c)
+                        break
+                else:
+                    ready.append(c)
+            if ready:
+                residuals: list[Expr] = []
+                for c in ready:
+                    r = reduce_expr(c, assignment)
+                    if r.__class__ is Const:
+                        if r.value == 0:
+                            # Fails for every candidate; candidates still
+                            # charge budget below, exactly as before.
+                            const_fail = True
+                            residuals = []
+                            break
+                    else:
+                        residuals.append(r)
+                if residuals:
+                    column = {name: _NP.array(filtered, dtype=_NP.uint64)}
+                    ok = column_evaluator(residuals[0])(column) != 0
+                    for r in residuals[1:]:
+                        ok &= column_evaluator(r)(column) != 0
+                    screen = ok
+
+        for i, candidate in enumerate(filtered):
             budget[0] -= 1
             if budget[0] <= 0:
                 return False
+            if const_fail:
+                continue
+            if screen is not None and not screen[i]:
+                continue
             assignment[name] = candidate
             # Only constraints mentioning ``name`` can have changed their
             # reduction; everything else was vetted at an earlier level.
-            if self._consistent(relevant, assignment) and self._backtrack(
+            if self._consistent(general, assignment) and self._backtrack(
                 order, position + 1, constraints, by_symbol, assignment, domains, rng, budget,
                 extra_candidates,
             ):

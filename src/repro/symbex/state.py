@@ -162,6 +162,11 @@ class ExecutionState:
         self.shadow: "ShadowAssignment | None" = None
         self.shadow_valid = False
 
+        # Vectorized frontier tier (exec_mode="vector"): the deferred group
+        # step buffered for this state, applied when the searcher pops it.
+        # Never forked, never pickled — a fork or shard hop simply regroups.
+        self.vex_buffer: "tuple | None" = None
+
         # Round bookkeeping for the per-packet beam scheduler: the cost this
         # state carried into the current round, so per-round gains can be
         # reported without re-walking the metric history.
@@ -207,8 +212,18 @@ class ExecutionState:
         child._fresh_symbol_counter = self._fresh_symbol_counter
         child.shadow = self.shadow
         child.shadow_valid = self.shadow_valid
+        child.vex_buffer = None
         child.round_cost_baseline = self.round_cost_baseline
         return child
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # A deferred group step must never cross a process boundary: the
+        # receiving engine regroups from scratch (apply-time key validation
+        # would catch a stale buffer anyway, but dropping it keeps shard
+        # pickles free of plan objects entirely).
+        state["vex_buffer"] = None
+        return state
 
     # -- round (packet-boundary) carry-over -----------------------------------
 

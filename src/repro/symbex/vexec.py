@@ -1,0 +1,507 @@
+"""Vectorized frontier execution (``exec_mode="vector"``).
+
+The block-compiled tier (:mod:`repro.symbex.blockc`) removed per-instruction
+dispatch, but the engine still pays one full Python step loop *per state*:
+two frontier states parked at the same program point redo identical operand
+resolution, expression construction and constant folding.  This module adds
+the third tier: states sitting at the same ``(function, block, index)`` are
+grouped into **lanes** and their next compiled step is computed **once for
+the whole group**, columnar where the lanes are concrete.
+
+How a group steps
+-----------------
+At group time (run seeding, and opportunistic peer scans at pop time) the
+executor looks at the instruction the group is parked on:
+
+* a fused arithmetic run (the maximal ``BinaryOp``/``Compare``/``Select``
+  run, the same grouping rule :func:`repro.symbex.blockc._compile_block`
+  uses) is evaluated lane-parallel: per op, operands are gathered across
+  lanes, duplicate operand pairs collapse to one evaluation through a group
+  memo (interned expressions make the key a cheap tuple), **concrete lanes
+  become numpy columns** folded through the exact vectorized op tables
+  (:data:`repro.symbex.expr.VEC_BINOP_FUNCS` /
+  :data:`~repro.symbex.expr.VEC_CMP_FUNCS`), and symbolic lanes build their
+  expression through the same ``make_binop``/``make_cmp``/``make_select``
+  constructors the scalar tiers use.  The result is one register-delta dict
+  per lane.
+* a memory run (maximal ``Load``/``Store`` run) yields one **access
+  matrix**: per lane, the row of pre-resolved index expressions for every
+  access whose index register is not written by an earlier load of the run.
+  The row rides along and is handed to the extended
+  :meth:`repro.cache.model.CacheModel.on_access_batch` when the lane
+  executes, skipping per-access register resolution; accesses that *do*
+  depend on earlier loads keep resolving sequentially (exact semantics).
+
+Deferred application — why outputs cannot change
+------------------------------------------------
+Group results are **buffered**, not applied: each lane keeps its buffer
+(``state.vex_buffer``) untouched until the searcher pops it, and the buffer
+is applied with exactly the fused step's semantics (one copy-on-write
+register acquire, one summed cycle charge, one ``frame.index`` bump).
+Popping order, priorities, fork order, state ids, constraint order and rng
+streams are therefore byte-identical to ``exec_mode="compiled"`` (itself
+identity-tested against ``"interp"``): the vector tier only moves *when*
+shared work happens, never *what* happens.
+
+Lane peeling — when a lane leaves the group
+-------------------------------------------
+A lane falls back to the per-state compiled path (and from there, where
+needed, to the reference interpreter) whenever:
+
+* the buffered run would cross the state's instruction budget
+  (``n > max_instructions`` at apply time — the budget edge);
+* the state moved since grouping (the ``(function, block, index)`` key no
+  longer matches, e.g. a beam resume pushed a new frame);
+* group computation raised (undefined registers, unknown regions): the
+  whole group's buffers are abandoned and every lane re-raises on the
+  normal path at the exact reference point;
+* there is no groupable step at the program point (control flow, calls,
+  havocs) — those always execute per state, where forking, shadow
+  invalidation and loop accounting live.
+
+Correctness never depends on the vector tier covering everything: a peeled
+lane is simply a compiled-mode state.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING
+
+from repro.ir.instructions import BinaryOp, Compare, Load, Select, Store
+from repro.symbex.blockc import _operand_plan
+from repro.symbex.expr import (
+    BINOP_FUNCS,
+    CMP_FUNCS,
+    HAVE_NUMPY,
+    VEC_BINOP_FUNCS,
+    VEC_CMP_FUNCS,
+    Const,
+    _np,
+    make_binop,
+    make_cmp,
+    make_select,
+)
+from repro.symbex.state import StateStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.symbex.engine import SymbolicEngine
+    from repro.symbex.searcher import Searcher
+    from repro.symbex.state import ExecutionState
+
+#: Lanes needed before group stepping pays for itself.
+MIN_GROUP = 2
+
+#: Concrete lanes needed before a numpy column beats scalar folds (array
+#: construction has a fixed cost; tiny columns fold faster in Python).
+MIN_COLUMN = 4
+
+_WARNED_NUMPY_MISSING = False
+
+
+def numpy_available() -> bool:
+    return HAVE_NUMPY
+
+
+def warn_numpy_missing() -> None:
+    """One-time warning when ``exec_mode="vector"`` degrades to compiled."""
+    global _WARNED_NUMPY_MISSING
+    if not _WARNED_NUMPY_MISSING:
+        _WARNED_NUMPY_MISSING = True
+        warnings.warn(
+            "exec_mode='vector' needs numpy (pip install castan-repro[vector]); "
+            "falling back to the block-compiled tier — outputs are identical, "
+            "only the many-states grouping is disabled",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+class VexStats:
+    """Process-visible counters (profiling, lane-peel tests)."""
+
+    __slots__ = (
+        "groups",
+        "lanes_buffered",
+        "lanes_applied",
+        "lanes_peeled",
+        "groups_aborted",
+        "columnar_ops",
+        "columnar_lanes",
+        "mem_rows",
+    )
+
+    def __init__(self) -> None:
+        self.groups = 0
+        self.lanes_buffered = 0
+        self.lanes_applied = 0
+        self.lanes_peeled = 0
+        self.groups_aborted = 0
+        self.columnar_ops = 0
+        self.columnar_lanes = 0
+        self.mem_rows = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _FusedPlan:
+    """A maximal arithmetic run: op descriptors plus the fused-step totals."""
+
+    __slots__ = ("kind", "ops", "n", "cycles", "next_index")
+
+    def __init__(self, ops: tuple, n: int, cycles: int, next_index: int) -> None:
+        self.kind = "fused"
+        self.ops = ops
+        self.n = n
+        self.cycles = cycles
+        self.next_index = next_index
+
+
+class _MemPlan:
+    """A maximal memory run: per-access (index_reg, prefetchable) slots."""
+
+    __slots__ = ("kind", "slots")
+
+    def __init__(self, slots: tuple) -> None:
+        self.kind = "mem"
+        self.slots = slots
+
+
+_NO_PLAN = object()
+
+
+def _plan_at(blocks, module, key, cycle_costs):
+    """The group plan for states parked at ``key=(function, block, index)``.
+
+    Mirrors ``blockc._compile_block``'s run grouping exactly, so a plan's
+    extent always lands on a compiled-step boundary (``next_index`` is a
+    resume point of the compiled block).
+    """
+    function, block_name, index = key
+    block = blocks.get(function, {}).get(block_name)
+    if block is None:
+        return None
+    instructions = block.instructions
+    total = len(instructions)
+    if index >= total:
+        return None
+    first = instructions[index]
+
+    if isinstance(first, (BinaryOp, Compare, Select)):
+        ops = []
+        cycles = 0
+        i = index
+        while i < total:
+            ins = instructions[i]
+            if isinstance(ins, BinaryOp):
+                lhs_reg, lhs_const = _operand_plan(ins.lhs)
+                rhs_reg, rhs_const = _operand_plan(ins.rhs)
+                ops.append(("bin", ins.op, ins.dest.name, lhs_reg, lhs_const, rhs_reg, rhs_const))
+            elif isinstance(ins, Compare):
+                lhs_reg, lhs_const = _operand_plan(ins.lhs)
+                rhs_reg, rhs_const = _operand_plan(ins.rhs)
+                ops.append(("cmp", ins.pred, ins.dest.name, lhs_reg, lhs_const, rhs_reg, rhs_const))
+            elif isinstance(ins, Select):
+                cond_reg, cond_const = _operand_plan(ins.cond)
+                t_reg, t_const = _operand_plan(ins.if_true)
+                f_reg, f_const = _operand_plan(ins.if_false)
+                ops.append(
+                    ("sel", ins.dest.name, cond_reg, cond_const, t_reg, t_const, f_reg, f_const)
+                )
+            else:
+                break
+            cycles += cycle_costs.instruction_cost(ins)
+            i += 1
+        return _FusedPlan(tuple(ops), i - index, cycles, i)
+
+    if isinstance(first, (Load, Store)):
+        slots = []
+        load_dests: set[str] = set()
+        i = index
+        while i < total:
+            ins = instructions[i]
+            if isinstance(ins, (Load, Store)):
+                try:
+                    module.get_region(ins.region)
+                except Exception:
+                    # blockc breaks the run here too (exact-step fallback).
+                    break
+                index_reg, _index_const = _operand_plan(ins.index)
+                prefetchable = index_reg is not None and index_reg not in load_dests
+                slots.append((index_reg, prefetchable))
+                if isinstance(ins, Load):
+                    load_dests.add(ins.dest.name)
+            else:
+                break
+            i += 1
+        if not slots or not any(p for _r, p in slots):
+            return None
+        return _MemPlan(tuple(slots))
+
+    return None
+
+
+class VectorExecutor:
+    """Groups frontier states and steps each group once (see module doc)."""
+
+    def __init__(self, blocks, module, cycle_costs) -> None:
+        self._blocks = blocks
+        self._module = module
+        self._cycle_costs = cycle_costs
+        self._plans: dict = {}
+        self.stats = VexStats()
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan(self, key):
+        plan = self._plans.get(key, _NO_PLAN)
+        if plan is _NO_PLAN:
+            plan = _plan_at(self._blocks, self._module, key, self._cycle_costs)
+            self._plans[key] = plan
+        return plan
+
+    # -- grouping -----------------------------------------------------------
+
+    def build_buffers(self, states) -> None:
+        """Group a whole frontier (run seeding) and buffer each group."""
+        groups: dict = {}
+        for state in states:
+            if (
+                state.status is not StateStatus.RUNNING
+                or not state._frames
+                or state.vex_buffer is not None
+            ):
+                continue
+            frame = state._frames[-1]
+            groups.setdefault((frame.function, frame.block, frame.index), []).append(state)
+        for key, lanes in groups.items():
+            if len(lanes) >= MIN_GROUP:
+                plan = self._plan(key)
+                if plan is not None:
+                    self._buffer_group(key, plan, lanes)
+
+    def regroup(self, state: "ExecutionState", searcher: "Searcher") -> None:
+        """Opportunistic peer scan when popping an unbuffered state."""
+        if (
+            state.vex_buffer is not None
+            or state.status is not StateStatus.RUNNING
+            or not state._frames
+        ):
+            return
+        frame = state._frames[-1]
+        key = (frame.function, frame.block, frame.index)
+        plan = self._plan(key)
+        if plan is None:
+            return
+        lanes = [state]
+        function, block_name, index = key
+        for peer in searcher.iter_states():
+            if (
+                peer.status is StateStatus.RUNNING
+                and peer.vex_buffer is None
+                and peer._frames
+            ):
+                peer_frame = peer._frames[-1]
+                if (
+                    peer_frame.function == function
+                    and peer_frame.block == block_name
+                    and peer_frame.index == index
+                ):
+                    lanes.append(peer)
+        if len(lanes) >= MIN_GROUP:
+            self._buffer_group(key, plan, lanes)
+
+    def _buffer_group(self, key, plan, lanes) -> None:
+        try:
+            if plan.kind == "fused":
+                overlays = self._compute_fused(plan, lanes)
+                for state, overlay in zip(lanes, overlays):
+                    state.vex_buffer = (key, "fused", overlay, plan)
+            else:
+                rows = self._compute_mem(plan, lanes)
+                for state, row in zip(lanes, rows):
+                    state.vex_buffer = (key, "mem", row, None)
+        except Exception:
+            # Any lane failing (undefined register, unknown region) peels
+            # the whole group: the normal path re-raises at the exact
+            # reference execution point.
+            self.stats.groups_aborted += 1
+            for state in lanes:
+                state.vex_buffer = None
+            return
+        self.stats.groups += 1
+        self.stats.lanes_buffered += len(lanes)
+
+    # -- group computation ---------------------------------------------------
+
+    def _compute_fused(self, plan, lanes) -> list[dict]:
+        """One register-delta dict per lane for a fused arithmetic run.
+
+        Per op: duplicate operand pairs collapse through a group memo,
+        concrete lanes fold as one numpy column through the exact vectorized
+        op tables, symbolic lanes build interned expressions through the
+        same constructors the scalar tiers use.  Results are value-identical
+        to running the compiled fused step on every lane.
+        """
+        np = _np
+        count = len(lanes)
+        regsets = [state._frames[-1].registers for state in lanes]
+        overlays: list[dict] = [{} for _ in range(count)]
+        lane_range = range(count)
+        for op in plan.ops:
+            opkind = op[0]
+            if opkind == "sel":
+                _, dest, cond_reg, cond_const, t_reg, t_const, f_reg, f_const = op
+                memo: dict = {}
+                for i in lane_range:
+                    overlay = overlays[i]
+                    regs = regsets[i]
+                    cond = _read(overlay, regs, cond_reg, cond_const)
+                    if_true = _read(overlay, regs, t_reg, t_const)
+                    if_false = _read(overlay, regs, f_reg, f_const)
+                    if cond.__class__ is Const:
+                        result = if_true if cond.value else if_false
+                    else:
+                        sel_key = (cond, if_true, if_false)
+                        result = memo.get(sel_key)
+                        if result is None:
+                            result = make_select(cond, if_true, if_false)
+                            memo[sel_key] = result
+                    overlay[dest] = result
+                continue
+            _, kind, dest, lhs_reg, lhs_const, rhs_reg, rhs_const = op
+            if opkind == "bin":
+                fold = BINOP_FUNCS[kind]
+                vec = VEC_BINOP_FUNCS[kind]
+                make = make_binop
+            else:
+                fold = CMP_FUNCS[kind]
+                vec = VEC_CMP_FUNCS[kind]
+                make = make_cmp
+            memo = {}
+            results: list = [None] * count
+            concrete: list = []
+            xs: list[int] = []
+            ys: list[int] = []
+            for i in lane_range:
+                overlay = overlays[i]
+                regs = regsets[i]
+                x = _read(overlay, regs, lhs_reg, lhs_const)
+                y = _read(overlay, regs, rhs_reg, rhs_const)
+                pair = (x, y)
+                result = memo.get(pair)
+                if result is None:
+                    if x.__class__ is Const and y.__class__ is Const:
+                        concrete.append((i, pair))
+                        xs.append(x.value)
+                        ys.append(y.value)
+                        continue
+                    result = make(kind, x, y)
+                    memo[pair] = result
+                results[i] = result
+            if concrete:
+                if len(concrete) >= MIN_COLUMN:
+                    # The columnar path: one ufunc evaluation for the whole
+                    # concrete column (exact uint64 semantics; see
+                    # expr._vec_tables).
+                    column = vec(np.array(xs, dtype=np.uint64), np.array(ys, dtype=np.uint64))
+                    self.stats.columnar_ops += 1
+                    self.stats.columnar_lanes += len(concrete)
+                    for j, (i, pair) in enumerate(concrete):
+                        result = memo.get(pair)
+                        if result is None:
+                            result = Const(int(column[j]))
+                            memo[pair] = result
+                        results[i] = result
+                else:
+                    for j, (i, pair) in enumerate(concrete):
+                        result = memo.get(pair)
+                        if result is None:
+                            result = Const(fold(xs[j], ys[j]))
+                            memo[pair] = result
+                        results[i] = result
+            for i in lane_range:
+                overlays[i][dest] = results[i]
+        return overlays
+
+    def _compute_mem(self, plan, lanes) -> list[tuple]:
+        """The access matrix: one row of pre-resolved index exprs per lane.
+
+        ``None`` slots are accesses whose index register an earlier load of
+        the run writes — those must resolve sequentially at execution time.
+        """
+        rows = []
+        for state in lanes:
+            regs = state._frames[-1].registers
+            rows.append(
+                tuple(
+                    regs[index_reg] if prefetchable else None
+                    for index_reg, prefetchable in plan.slots
+                )
+            )
+        return rows
+
+    # -- buffer application --------------------------------------------------
+
+    def apply(self, engine: "SymbolicEngine", state: "ExecutionState", max_instructions: int):
+        """Apply ``state``'s buffer at pop time.
+
+        Returns ``(instructions_consumed, mem_row)``: a fused buffer applies
+        with exactly the compiled fused step's semantics and returns its
+        instruction count (the compiled driver continues mid-budget); a
+        memory buffer returns its access-matrix row for the engine to hand
+        to ``on_access_batch``.  ``(0, None)`` means the lane peeled (or had
+        no buffer) and the normal path takes over.
+        """
+        buffer = state.vex_buffer
+        if buffer is None:
+            return 0, None
+        state.vex_buffer = None
+        key, kind, payload, plan = buffer
+        frames = state._frames
+        if not frames:
+            self.stats.lanes_peeled += 1
+            return 0, None
+        frame = frames[-1]
+        if (frame.function, frame.block, frame.index) != key:
+            # The state moved since grouping (e.g. a beam resume): peel.
+            self.stats.lanes_peeled += 1
+            return 0, None
+        if kind == "mem":
+            self.stats.mem_rows += 1
+            return 0, payload
+        n = plan.n
+        if n > max_instructions:
+            # Budget edge: the compiled driver's own check hands the state
+            # to the reference interpreter, which exhausts the budget at
+            # exactly the right instruction.
+            self.stats.lanes_peeled += 1
+            return 0, None
+        # Exactly _make_fused_step's effects, with the precomputed delta.
+        if not state._frames_owned[-1]:
+            frame = frame.copy()
+            frames[-1] = frame
+            state._frames_owned[-1] = True
+        if frame.registers_shared:
+            frame.registers = dict(frame.registers)
+            frame.registers_shared = False
+        frame.registers.update(payload)
+        state.current_cost += plan.cycles
+        state.instructions_retired += n
+        stats = engine._stats
+        if stats is not None:
+            stats.instructions_executed += n
+        frame.index = plan.next_index
+        self.stats.lanes_applied += 1
+        return n, None
+
+
+def _read(overlay, regs, reg, const):
+    """An operand at the current point of the run (overlay over registers)."""
+    if reg is None:
+        return const
+    value = overlay.get(reg)
+    if value is None:
+        return regs[reg]
+    return value

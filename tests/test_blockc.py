@@ -1,16 +1,18 @@
-"""Compiled-vs-interpreted engine equivalence, and block-compiler units.
+"""Exec-tier equivalence (interp / compiled / vector), and block-compiler units.
 
-The block compiler (``repro.symbex.blockc``) plus the concolic fast path
-must be *observationally identical* to the reference interpreter: same
-synthesized workloads, same costs, same path counts, same per-packet
-metrics, same fork order.  The differential below drives every evaluation
-NF through both ``exec_mode``s at smoke scale and compares everything the
-pipeline reports.
+The block compiler (``repro.symbex.blockc``), the concolic fast path and
+the vectorized frontier tier (``repro.symbex.vexec``) must all be
+*observationally identical* to the reference interpreter: same synthesized
+workloads, same costs, same path counts, same per-packet metrics, same
+fork order.  The differential below drives every evaluation NF through
+every ``exec_mode`` at smoke scale and compares everything the pipeline
+reports against the interpreter's output.
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 
 import pytest
 
@@ -25,7 +27,10 @@ from repro.symbex.state import ShadowAssignment
 
 SMOKE = dict(max_states=60, num_packets=5, deadline_seconds=None)
 
-_MODES = ("interp", "compiled")
+_MODES = ("interp", "compiled", "vector")
+
+#: The fast tiers, each compared against the "interp" reference.
+_FAST_MODES = ("compiled", "vector")
 
 
 @pytest.fixture(scope="module")
@@ -41,36 +46,40 @@ def mode_results():
     return results
 
 
-class TestCompiledInterpretedDifferential:
-    """Smoke-scale differential across all evaluation NFs."""
+class TestExecTierDifferential:
+    """Smoke-scale differential across all evaluation NFs and exec tiers."""
 
     def test_covers_all_evaluation_nfs(self, mode_results):
         assert len(EVALUATION_NF_NAMES) == 15
         for mode in _MODES:
             assert set(mode_results[mode]) == set(EVALUATION_NF_NAMES)
 
+    @pytest.mark.parametrize("mode", _FAST_MODES)
     @pytest.mark.parametrize("name", EVALUATION_NF_NAMES)
-    def test_workloads_byte_identical(self, mode_results, name):
+    def test_workloads_byte_identical(self, mode_results, name, mode):
         interp = mode_results["interp"][name]
-        compiled = mode_results["compiled"][name]
-        assert workload_digest(interp.packets) == workload_digest(compiled.packets)
+        fast = mode_results[mode][name]
+        assert workload_digest(interp.packets) == workload_digest(fast.packets)
 
+    @pytest.mark.parametrize("mode", _FAST_MODES)
     @pytest.mark.parametrize("name", EVALUATION_NF_NAMES)
-    def test_costs_and_path_counts_identical(self, mode_results, name):
+    def test_costs_and_path_counts_identical(self, mode_results, name, mode):
         interp = mode_results["interp"][name]
-        compiled = mode_results["compiled"][name]
-        assert interp.best_state_cost == compiled.best_state_cost
-        assert interp.states_explored == compiled.states_explored
-        assert interp.forks == compiled.forks
-        assert interp.completed_paths == compiled.completed_paths
-        assert interp.solver_status == compiled.solver_status
+        fast = mode_results[mode][name]
+        assert interp.best_state_cost == fast.best_state_cost
+        assert interp.states_explored == fast.states_explored
+        assert interp.forks == fast.forks
+        assert interp.completed_paths == fast.completed_paths
+        assert interp.solver_status == fast.solver_status
 
+    @pytest.mark.parametrize("mode", _FAST_MODES)
     @pytest.mark.parametrize("name", EVALUATION_NF_NAMES)
-    def test_per_packet_metrics_identical(self, mode_results, name):
+    def test_per_packet_metrics_identical(self, mode_results, name, mode):
         # PathMetrics is a dataclass: == compares every per-packet series,
-        # including instruction counts — so fused-step charging must agree
-        # with per-instruction charging exactly.
-        assert mode_results["interp"][name].metrics == mode_results["compiled"][name].metrics
+        # including instruction counts — so fused-step charging (and the
+        # vector tier's deferred buffer application) must agree with
+        # per-instruction charging exactly.
+        assert mode_results["interp"][name].metrics == mode_results[mode][name].metrics
 
 
 def _make_engine(nf_name: str, exec_mode: str, num_packets: int = 2, **kwargs) -> SymbolicEngine:
@@ -107,31 +116,43 @@ class TestEngineLevelEquivalence:
         stats = {}
         for mode in _MODES:
             stats[mode] = _run_stats(_make_engine(nf_name, mode))
-        a, b = stats["interp"], stats["compiled"]
-        assert a.states_explored == b.states_explored
-        assert a.instructions_executed == b.instructions_executed
-        assert a.forks == b.forks
-        assert a.infeasible_states == b.infeasible_states
-        assert a.error_states == b.error_states
-        assert [s.sid for s in a.completed_states] == [s.sid for s in b.completed_states]
-        assert [s.current_cost for s in a.completed_states] == [
-            s.current_cost for s in b.completed_states
-        ]
-        assert [(s.sid, s.current_cost) for s in a.pending_states] == [
-            (s.sid, s.current_cost) for s in b.pending_states
-        ]
+        a = stats["interp"]
+        for mode in _FAST_MODES:
+            b = stats[mode]
+            assert a.states_explored == b.states_explored, mode
+            assert a.instructions_executed == b.instructions_executed, mode
+            assert a.forks == b.forks, mode
+            assert a.infeasible_states == b.infeasible_states, mode
+            assert a.error_states == b.error_states, mode
+            assert [s.sid for s in a.completed_states] == [
+                s.sid for s in b.completed_states
+            ], mode
+            assert [s.current_cost for s in a.completed_states] == [
+                s.current_cost for s in b.completed_states
+            ], mode
+            assert [(s.sid, s.current_cost) for s in a.pending_states] == [
+                (s.sid, s.current_cost) for s in b.pending_states
+            ], mode
 
     def test_instruction_budget_fallback_matches_interpreter(self):
-        """A tiny per-state budget errors at the same instruction in both modes."""
+        """A tiny per-state budget errors at the same instruction in every mode.
+
+        Budgets below the vector tier's buffered run lengths also exercise
+        the budget-edge lane peel (``n > max_instructions`` at apply time).
+        """
         for budget in (1, 3, 7, 19):
             stats = {}
             for mode in _MODES:
                 engine = _make_engine("lpm-patricia", mode)
                 stats[mode] = _run_stats(engine, max_instructions_per_state=budget)
-            a, b = stats["interp"], stats["compiled"]
-            assert a.error_states == b.error_states, f"budget={budget}"
-            assert a.instructions_executed == b.instructions_executed, f"budget={budget}"
-            assert a.states_explored == b.states_explored, f"budget={budget}"
+            a = stats["interp"]
+            for mode in _FAST_MODES:
+                b = stats[mode]
+                assert a.error_states == b.error_states, f"{mode} budget={budget}"
+                assert a.instructions_executed == b.instructions_executed, (
+                    f"{mode} budget={budget}"
+                )
+                assert a.states_explored == b.states_explored, f"{mode} budget={budget}"
 
     def test_rejects_unknown_exec_mode(self):
         with pytest.raises(ValueError, match="exec_mode"):
@@ -197,6 +218,111 @@ class TestCacheBatchReplay:
 
         Recorder().on_access_batch(["a", "b", "stop", "never"], execute_one)
         assert replayed == ["a", "b", "stop"]
+
+
+class TestVectorLanePeeling:
+    """Unit tests for the vector tier's lane-peel and group-abort edges.
+
+    ``lpm-patricia``'s entry block starts with a 4-instruction fused
+    arithmetic run, so two fresh initial states always form one group.
+    """
+
+    def _grouped_pair(self):
+        engine = _make_engine("lpm-patricia", "vector")
+        assert engine._vex is not None
+        first, second = engine.make_initial_state(), engine.make_initial_state()
+        engine._vex.build_buffers([first, second])
+        assert first.vex_buffer is not None and second.vex_buffer is not None
+        return engine, first, second
+
+    def test_seed_grouping_buffers_fused_run(self):
+        engine, first, _second = self._grouped_pair()
+        vex = engine._vex
+        assert vex.stats.groups == 1
+        assert vex.stats.lanes_buffered == 2
+        _key, kind, overlay, plan = first.vex_buffer
+        assert kind == "fused"
+        assert plan.n == 4
+        assert overlay  # the precomputed register delta is non-empty
+
+    def test_apply_consumes_buffer_and_charges_fused_totals(self):
+        engine, first, _second = self._grouped_pair()
+        plan = first.vex_buffer[3]
+        cost_before = first.current_cost
+        consumed, mem_row = engine._vex.apply(engine, first, max_instructions=10**9)
+        assert (consumed, mem_row) == (plan.n, None)
+        assert first.vex_buffer is None
+        assert first.current_cost == cost_before + plan.cycles
+        assert first._frames[-1].index == plan.next_index
+        assert engine._vex.stats.lanes_applied == 1
+
+    def test_budget_edge_peels_lane(self):
+        """``n > max_instructions`` at apply time hands the lane back."""
+        engine, first, _second = self._grouped_pair()
+        plan = first.vex_buffer[3]
+        index_before = first._frames[-1].index
+        consumed, mem_row = engine._vex.apply(engine, first, max_instructions=plan.n - 1)
+        assert (consumed, mem_row) == (0, None)
+        assert first.vex_buffer is None  # buffer dropped, not re-queued
+        assert first._frames[-1].index == index_before  # state untouched
+        assert engine._vex.stats.lanes_peeled == 1
+        assert engine._vex.stats.lanes_applied == 0
+
+    def test_stale_key_peels_lane(self):
+        """A state that moved since grouping must not apply its buffer."""
+        engine, first, _second = self._grouped_pair()
+        first._frames[-1].index += 1  # simulate e.g. a beam resume advancing it
+        consumed, mem_row = engine._vex.apply(engine, first, max_instructions=10**9)
+        assert (consumed, mem_row) == (0, None)
+        assert first.vex_buffer is None
+        assert engine._vex.stats.lanes_peeled == 1
+
+    def test_group_computation_failure_aborts_whole_group(self, monkeypatch):
+        engine = _make_engine("lpm-patricia", "vector")
+        vex = engine._vex
+
+        def boom(plan, lanes):
+            raise KeyError("undefined register")
+
+        monkeypatch.setattr(vex, "_compute_fused", boom)
+        first, second = engine.make_initial_state(), engine.make_initial_state()
+        vex.build_buffers([first, second])
+        assert first.vex_buffer is None and second.vex_buffer is None
+        assert vex.stats.groups_aborted == 1
+        assert vex.stats.groups == 0 and vex.stats.lanes_buffered == 0
+
+    def test_full_run_engages_vector_tier(self):
+        """A real vector-mode run groups lanes and hits the columnar path."""
+        engine = _make_engine("dpi-trie", "vector")
+        _run_stats(engine)
+        stats = engine._vex.stats
+        assert stats.groups > 0
+        assert stats.lanes_applied > 0
+        assert stats.columnar_ops > 0 and stats.columnar_lanes > 0
+        # Every consumed buffer was buffered first (rest are still pending).
+        consumed = stats.lanes_applied + stats.lanes_peeled + stats.mem_rows
+        assert consumed <= stats.lanes_buffered
+
+    def test_missing_numpy_degrades_to_compiled(self, monkeypatch):
+        """Without numpy, vector mode warns once and runs the compiled tier."""
+        from repro.symbex import vexec
+
+        monkeypatch.setattr(vexec, "HAVE_NUMPY", False)
+        monkeypatch.setattr(vexec, "_WARNED_NUMPY_MISSING", False)
+        with pytest.warns(RuntimeWarning, match="numpy"):
+            degraded = _make_engine("lpm-patricia", "vector")
+        assert degraded._vex is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the warning is one-time only
+            _make_engine("lpm-patricia", "vector")
+        baseline = _make_engine("lpm-patricia", "compiled")
+        a = _run_stats(degraded)
+        b = _run_stats(baseline)
+        assert a.states_explored == b.states_explored
+        assert a.instructions_executed == b.instructions_executed
+        assert [s.current_cost for s in a.completed_states] == [
+            s.current_cost for s in b.completed_states
+        ]
 
 
 class TestExprFastPathInvariants:
@@ -277,7 +403,7 @@ class TestExprFastPathInvariants:
         assert ev({"deep": 1}) == 1 << 20
 
     def test_engine_seed_states_resume_identically_between_modes(self):
-        """Paused beam states resume the same way in both exec modes."""
+        """Paused beam states resume the same way in every exec mode."""
         import itertools
 
         from repro.symbex.state import ExecutionState
@@ -292,16 +418,20 @@ class TestExprFastPathInvariants:
             second = engine.run(CastanSearcher(), max_states=12, initial_states=seeds,
                                 stop_at_packet=2)
             stats[mode] = (first, second)
-        (ia, ib), (ca, cb) = stats["interp"], stats["compiled"]
-        assert ia.states_explored == ca.states_explored
-        assert ia.instructions_executed == ca.instructions_executed
-        assert ib.states_explored == cb.states_explored
-        assert ib.instructions_executed == cb.instructions_executed
-        assert [s.sid for s in ib.paused_states] == [s.sid for s in cb.paused_states]
+        ia, ib = stats["interp"]
+        for mode in _FAST_MODES:
+            fa, fb = stats[mode]
+            assert ia.states_explored == fa.states_explored, mode
+            assert ia.instructions_executed == fa.instructions_executed, mode
+            assert ib.states_explored == fb.states_explored, mode
+            assert ib.instructions_executed == fb.instructions_executed, mode
+            assert [s.sid for s in ib.paused_states] == [
+                s.sid for s in fb.paused_states
+            ], mode
 
 
-class TestParallelIdentityBothModes:
-    """workers=0 vs workers=2 byte-identity holds in both exec modes."""
+class TestParallelIdentityAllModes:
+    """workers=0 vs workers=2 byte-identity holds in every exec mode."""
 
     @pytest.mark.parametrize("mode", _MODES)
     def test_sharded_beam_identity(self, mode):

@@ -11,6 +11,7 @@ from repro.hashing.functions import (
     FLOW_HASH_BITS,
     FLOW_HASH_DIALECT_SOURCE,
     flow_hash16,
+    flow_hash16_column,
     lb_flow_key,
     lb_key_fields,
     nat_forward_key,
@@ -64,6 +65,59 @@ class TestFlowHash:
         assert nat_key_fields(reverse)[1] == nat_key_fields(forward)[2]
 
 
+class TestFlowHashColumn:
+    """The columnar flow hash pinned bit-exact against the scalar reference."""
+
+    def test_column_matches_scalar(self):
+        if flow_hash16_column is None:
+            pytest.skip("numpy not installed (the [vector] extra)")
+        rng = random.Random(17)
+        keys = [0, 1, 2**64 - 1, 0xDEADBEEF] + [rng.getrandbits(64) for _ in range(2000)]
+        assert flow_hash16_column(keys) == [flow_hash16(k) for k in keys]
+
+    def test_column_returns_python_ints(self):
+        if flow_hash16_column is None:
+            pytest.skip("numpy not installed (the [vector] extra)")
+        for value in flow_hash16_column([3, 2**63]):
+            assert type(value) is int
+
+    def test_empty_column(self):
+        if flow_hash16_column is None:
+            pytest.skip("numpy not installed (the [vector] extra)")
+        assert flow_hash16_column([]) == []
+
+
+class TestTailoredSamplerStream:
+    """The inlined getrandbits rejection loops match the naive implementation.
+
+    ``udp_flow_key_sampler`` hand-inlines ``Random.randrange(60000)`` and
+    ``Random.choice`` as raw ``getrandbits`` rejection loops; the rainbow
+    build's lockstep hoisting relies on the sampler being a pure function of
+    its seed.  This pins the stream draw-for-draw against a fresh
+    ``random.Random`` running the naive calls.
+    """
+
+    @staticmethod
+    def _naive_reference(seed: int) -> int:
+        service_ports = (53, 80, 123, 443, 8080, 8443)
+        rng = random.Random(seed)
+        src_ip = 0x0A000000 | rng.getrandbits(24)
+        src_port = 1024 + rng.randrange(60000)
+        return lb_flow_key(src_ip, src_port, rng.choice(service_ports))
+
+    def test_matches_naive_reference(self):
+        rng = random.Random(23)
+        seeds = [0, 1, 2**64 - 1] + [rng.getrandbits(64) for _ in range(3000)]
+        for seed in seeds:
+            assert udp_flow_key_sampler(seed) == self._naive_reference(seed)
+
+    def test_pure_function_of_seed(self):
+        # The shared module-level Random must not leak state across calls.
+        first = udp_flow_key_sampler(99)
+        udp_flow_key_sampler(12345)
+        assert udp_flow_key_sampler(99) == first
+
+
 class TestRainbowTable:
     @pytest.fixture(scope="class")
     def table(self):
@@ -101,6 +155,21 @@ class TestRainbowTable:
     def test_rejects_degenerate_chain_length(self):
         with pytest.raises(ValueError):
             RainbowTable(flow_hash16, generic_key_sampler, chain_length=1)
+
+    def test_lockstep_build_matches_per_chain_build(self):
+        """The columnar (position-major) build yields the identical table.
+
+        Passing ``flow_hash16`` through a wrapper defeats the ``is`` check
+        in ``RainbowTable._build``, forcing the scalar per-chain loop — the
+        two construction orders must produce the same chains dict.
+        """
+        kwargs = dict(
+            key_sampler=udp_flow_key_sampler, chain_length=8, num_chains=300, seed=9
+        )
+        columnar = RainbowTable(hash_fn=flow_hash16, **kwargs)
+        scalar = RainbowTable(hash_fn=lambda k: flow_hash16(k), **kwargs)
+        assert columnar._chains == scalar._chains
+        assert columnar.stats.distinct_endpoints == scalar.stats.distinct_endpoints
 
     def test_brute_force_inverter(self):
         inverter = BruteForceInverter(flow_hash16, udp_flow_key_sampler)

@@ -1,13 +1,21 @@
-"""cProfile harness for the symbex hot loop (future perf work starts here).
+"""Per-phase profile of the symbex hot loop.
 
-Profiles one full ``Castan`` analysis and prints the top functions, so a
-perf PR can see where the next wall of time is before touching code::
+Times one full ``Castan`` analysis and attributes wall time to the phases a
+perf PR actually argues about — block compilation, engine stepping, solver
+queries, cache-model decisions and (in vector mode) frontier grouping —
+instead of dumping a raw function table::
 
     PYTHONPATH=src python tools/profile_symbex.py --nf nat-hash-table
-    PYTHONPATH=src python tools/profile_symbex.py --nf lpm-patricia \
-        --exec-mode interp --sort tottime --top 40
     PYTHONPATH=src python tools/profile_symbex.py --nf nat-hash-ring \
-        --dump /tmp/ring.prof   # then: python -m pstats /tmp/ring.prof
+        --exec-mode vector --max-states 250
+
+Attribution is exclusive: a solver query made from inside a cache decision
+counts as solver time, not cache time, so the phases sum to the measured
+wall (plus "other": searcher, workload synthesis, havoc reconciliation).
+The classic cProfile table is still available behind ``--cprofile``::
+
+    PYTHONPATH=src python tools/profile_symbex.py --nf lpm-patricia \
+        --cprofile --sort tottime --top 40 --dump /tmp/lpm.prof
 
 The analysis runs with the wall-clock deadline disabled (like the perf
 benchmark) so profiles are comparable across runs.
@@ -19,19 +27,131 @@ import argparse
 import cProfile
 import pstats
 import sys
+import time
+from collections import defaultdict
 
 from repro.core.castan import Castan
 from repro.core.config import CastanConfig
 from repro.nf.registry import NF_NAMES, get_nf
 
+EXEC_MODES = ("compiled", "interp", "vector")
 
-def profile_analysis(
+
+class PhaseClock:
+    """Exclusive wall-time attribution over a stack of named phases.
+
+    Entering a phase pushes it; elapsed time always accrues to the phase on
+    top of the stack, so nested phases (a solver query inside a cache
+    decision inside a step) never double-count.
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = defaultdict(float)
+        self.calls: dict[str, int] = defaultdict(int)
+        self._stack: list[str] = []
+        self._last = 0.0
+
+    def _tick(self, now: float) -> None:
+        if self._stack:
+            self.totals[self._stack[-1]] += now - self._last
+        self._last = now
+
+    def push(self, phase: str) -> None:
+        self._tick(time.perf_counter())
+        self._stack.append(phase)
+        self.calls[phase] += 1
+
+    def pop(self) -> None:
+        self._tick(time.perf_counter())
+        self._stack.pop()
+
+    def wrap(self, owner, method_name: str, phase: str):
+        """Monkeypatch ``owner.method_name`` to run inside ``phase``."""
+        original = getattr(owner, method_name)
+        clock = self
+
+        def timed(*args, **kwargs):
+            clock.push(phase)
+            try:
+                return original(*args, **kwargs)
+            finally:
+                clock.pop()
+
+        setattr(owner, method_name, timed)
+        return owner, method_name, original
+
+
+def _install_phase_probes(clock: PhaseClock) -> list:
+    """Wrap the phase entry points; returns undo records."""
+    from repro.cache.model import ContentionSetCacheModel, NoCacheModel
+    from repro.symbex import blockc, vexec
+    from repro.symbex.engine import SymbolicEngine
+    from repro.symbex.incremental import SolverContext
+    from repro.symbex.solver import Solver
+
+    undo = []
+    undo.append(clock.wrap(blockc, "_compile_block", "block compile"))
+    undo.append(clock.wrap(SymbolicEngine, "execute_until_fork", "step"))
+    undo.append(clock.wrap(Solver, "check", "solver"))
+    undo.append(clock.wrap(Solver, "quick_feasible", "solver"))
+    undo.append(clock.wrap(SolverContext, "feasible_with", "solver"))
+    undo.append(clock.wrap(SolverContext, "solve_value", "solver"))
+    undo.append(clock.wrap(SolverContext, "add", "solver"))
+    for model_cls in (NoCacheModel, ContentionSetCacheModel):
+        undo.append(clock.wrap(model_cls, "on_access", "cache"))
+    undo.append(clock.wrap(vexec.VectorExecutor, "build_buffers", "vector group"))
+    undo.append(clock.wrap(vexec.VectorExecutor, "regroup", "vector group"))
+    undo.append(clock.wrap(vexec.VectorExecutor, "apply", "vector apply"))
+    return undo
+
+
+def _uninstall(undo: list) -> None:
+    for owner, method_name, original in reversed(undo):
+        setattr(owner, method_name, original)
+
+
+def profile_phases(
+    nf_name: str, max_states: int, exec_mode: str, num_packets: int | None
+) -> int:
+    config = CastanConfig(
+        max_states=max_states,
+        deadline_seconds=None,
+        exec_mode=exec_mode,
+        num_packets=num_packets,
+    )
+    clock = PhaseClock()
+    undo = _install_phase_probes(clock)
+    clock.push("other")  # the root bucket: everything outside a probe
+    start = time.perf_counter()
+    try:
+        result = Castan(config).analyze(get_nf(nf_name))
+    finally:
+        wall = time.perf_counter() - start
+        clock.pop()
+        _uninstall(undo)
+
+    print(result.summary(), file=sys.stderr)
+    print(f"\n{nf_name} [{exec_mode}] max_states={max_states}: {wall:.3f}s wall")
+    print(f"{'phase':>14}  {'seconds':>8}  {'share':>6}  {'calls':>8}")
+    ordered = sorted(clock.totals.items(), key=lambda kv: -kv[1])
+    for phase, seconds in ordered:
+        calls = clock.calls[phase] if phase != "other" else 1
+        share = seconds / wall if wall else 0.0
+        print(f"{phase:>14}  {seconds:8.3f}  {share:5.1%}  {calls:8d}")
+    accounted = sum(clock.totals.values())
+    print(f"{'(accounted)':>14}  {accounted:8.3f}  {accounted / wall if wall else 0.0:5.1%}")
+    return 0
+
+
+def profile_cprofile(
     nf_name: str,
     max_states: int,
     exec_mode: str,
-    num_packets: int | None = None,
-) -> cProfile.Profile:
-    """Run one deterministic analysis under cProfile and return the profile."""
+    num_packets: int | None,
+    sort: str,
+    top: int,
+    dump: str | None,
+) -> int:
     config = CastanConfig(
         max_states=max_states,
         deadline_seconds=None,
@@ -44,7 +164,12 @@ def profile_analysis(
     result = Castan(config).analyze(nf)
     profiler.disable()
     print(result.summary(), file=sys.stderr)
-    return profiler
+    stats = pstats.Stats(profiler)
+    if dump:
+        stats.dump_stats(dump)
+        print(f"wrote {dump}", file=sys.stderr)
+    stats.sort_stats(sort).print_stats(top)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -52,22 +177,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--nf", default="nat-hash-table", choices=sorted(NF_NAMES))
     parser.add_argument("--max-states", type=int, default=250)
     parser.add_argument("--num-packets", type=int, default=None)
-    parser.add_argument("--exec-mode", default="compiled", choices=("compiled", "interp"))
+    parser.add_argument("--exec-mode", default="compiled", choices=EXEC_MODES)
+    parser.add_argument(
+        "--cprofile", action="store_true",
+        help="raw cProfile function table instead of the phase breakdown",
+    )
     parser.add_argument(
         "--sort", default="cumulative",
         choices=("cumulative", "tottime", "ncalls", "pcalls"),
+        help="cProfile sort column (with --cprofile)",
     )
-    parser.add_argument("--top", type=int, default=30, help="rows to print")
-    parser.add_argument("--dump", default=None, help="write raw stats here for pstats/snakeviz")
+    parser.add_argument("--top", type=int, default=30, help="rows to print (with --cprofile)")
+    parser.add_argument(
+        "--dump", default=None,
+        help="write raw stats here for pstats/snakeviz (with --cprofile)",
+    )
     args = parser.parse_args(argv)
 
-    profiler = profile_analysis(args.nf, args.max_states, args.exec_mode, args.num_packets)
-    stats = pstats.Stats(profiler)
-    if args.dump:
-        stats.dump_stats(args.dump)
-        print(f"wrote {args.dump}", file=sys.stderr)
-    stats.sort_stats(args.sort).print_stats(args.top)
-    return 0
+    if args.cprofile:
+        return profile_cprofile(
+            args.nf, args.max_states, args.exec_mode, args.num_packets,
+            args.sort, args.top, args.dump,
+        )
+    return profile_phases(args.nf, args.max_states, args.exec_mode, args.num_packets)
 
 
 if __name__ == "__main__":
