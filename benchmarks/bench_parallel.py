@@ -2,7 +2,7 @@
 
 Measures two things for the process-parallel subsystem (``repro.parallel``):
 
-* **speedup** — wall-clock of the 15-NF evaluation portfolio run
+* **speedup** — wall-clock of the 17-NF evaluation portfolio run
   sequentially vs. fanned out over ``--workers`` processes, and of the
   sharded beam search at ``workers=0`` vs. ``workers=N`` on a few NFs;
 * **identity** — the parallel runs must synthesize byte-identical workloads

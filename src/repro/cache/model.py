@@ -350,3 +350,65 @@ class ContentionSetCacheModel(CacheModel):
     def resident_summary(self) -> dict[int, int]:
         """Contention-set id -> number of resident lines (for debugging)."""
         return {set_id: len(lines) for set_id, lines in self._resident.items() if lines}
+
+
+class PartitionedCacheModel(CacheModel):
+    """Per-stage cache slices for chain NFs (``cache_partition="partitioned"``).
+
+    Routes every access to the submodel of the region's owning stage,
+    through a proxy region whose base address is the stage's *standalone*
+    layout (the chain's per-stage address-plane offset subtracted).  Each
+    stage therefore receives bit-for-bit the decisions its standalone
+    analysis would produce — no cross-stage contention, as if the hierarchy
+    were way/set-partitioned between the stages.
+    """
+
+    def __init__(
+        self,
+        submodels: list[CacheModel],
+        routes: dict[str, tuple[int, MemoryRegion]],
+    ) -> None:
+        self._submodels = submodels
+        # region name -> (submodel slot, proxy region on the standalone layout)
+        self._routes = routes
+
+    def clone(self) -> "PartitionedCacheModel":
+        return PartitionedCacheModel(
+            [submodel.clone() for submodel in self._submodels], self._routes
+        )
+
+    def on_access(
+        self,
+        region: MemoryRegion,
+        index_expr: Expr,
+        is_write: bool,
+        feasible: FeasibleFn,
+        solve_value: SolveValueFn,
+    ) -> CacheAccessDecision:
+        try:
+            slot, proxy = self._routes[region.name]
+        except KeyError:
+            raise KeyError(
+                f"region {region.name!r} is not assigned to any chain stage "
+                "(partitioned cache model)"
+            ) from None
+        return self._submodels[slot].on_access(
+            proxy, index_expr, is_write, feasible, solve_value
+        )
+
+    @property
+    def stats(self) -> CacheModelStats:
+        total = CacheModelStats()
+        for submodel in self._submodels:
+            sub = submodel.stats
+            total.accesses += sub.accesses
+            total.hits += sub.hits
+            total.misses += sub.misses
+            total.evictions += sub.evictions
+            total.concretizations += sub.concretizations
+            total.contention_targeted += sub.contention_targeted
+        return total
+
+    def stage_stats(self) -> list[CacheModelStats]:
+        """Per-stage counters, in chain stage order."""
+        return [submodel.stats for submodel in self._submodels]

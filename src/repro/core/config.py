@@ -61,6 +61,11 @@ class CastanConfig:
     searcher: str = "castan"
     # Cache model: "contention" (default), "none" (ablation).
     cache_model: str = "contention"
+    # Hierarchy sharing for chain NFs: "shared" (default) runs every stage
+    # against one cache hierarchy (stages contend in L1/L2/L3, the deployed
+    # single-core picture); "partitioned" gives each stage its own slice so
+    # it sees exactly the cache behaviour of its standalone analysis.
+    cache_partition: str = "shared"
     # Where contention sets come from: "oracle" uses the hierarchy's
     # ground-truth slice/set mapping (equivalent to exhaustive probing, fast);
     # "probing" runs the §3.2 discovery for real over a sampled address pool.

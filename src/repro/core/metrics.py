@@ -29,6 +29,9 @@ class PathMetrics:
     havocs: int = 0
     havocs_reconciled: int = 0
     path_constraints: int = 0
+    # Chain NFs: stage label -> estimated cycles spent inside that stage
+    # across all packets (empty for standalone NFs).
+    stage_cycles: dict[str, int] = field(default_factory=dict)
 
     @property
     def max_estimated_cycles_per_packet(self) -> int:
@@ -57,6 +60,13 @@ class PathMetrics:
             f"(max/packet {self.max_estimated_cycles_per_packet})"
         )
         lines.append(f"havocs reconciled: {self.havocs_reconciled}/{self.havocs}")
+        if self.stage_cycles:
+            total = self.total_estimated_cycles or 1
+            lines.append("per-stage attribution:")
+            for label, cycles in self.stage_cycles.items():
+                lines.append(
+                    f"  stage {label}: {cycles} cycles ({100.0 * cycles / total:.1f}%)"
+                )
         return "\n".join(lines)
 
 
@@ -68,6 +78,7 @@ def metrics_from_state(state: ExecutionState, havocs_reconciled: int = 0) -> Pat
         havocs=len(state.havoc_records),
         havocs_reconciled=havocs_reconciled,
         path_constraints=len(state.constraints),
+        stage_cycles=dict(state.stage_costs),
     )
     for packet in state.packet_metrics:
         metrics.estimated_cycles_per_packet.append(packet.cycles)

@@ -40,9 +40,9 @@ from repro.workloads.generators import (
     make_zipfian_workload,
 )
 
-#: The 15 evaluation NFs: the paper's 11 (in the column order of Tables
+#: The 17 evaluation NFs: the paper's 11 (in the column order of Tables
 #: 1-3) followed by the four scenario-expansion NFs (firewall, policer,
-#: dedup, DPI).
+#: dedup, DPI) and the two preset service chains.
 EVALUATION_NFS: tuple[str, ...] = (
     "lpm-direct",
     "lpm-dpdk",
@@ -59,6 +59,8 @@ EVALUATION_NFS: tuple[str, ...] = (
     "policer-two-choice",
     "dedup-bloom",
     "dpi-trie",
+    "chain-gateway",
+    "chain-edge",
 )
 
 

@@ -23,6 +23,28 @@ ACTION_FORWARD = 1
 
 
 @dataclass
+class ChainStageInfo:
+    """One stage of a composed NF chain (see :mod:`repro.nf.chain`).
+
+    Records how the stage's standalone module was embedded into the merged
+    chain module: the symbol prefix applied to its functions/regions, the
+    virtual-address offset applied to its region bases, and which of the
+    (prefixed) regions carry cache contention.  The cache layer uses
+    ``address_offset`` to map chain addresses back onto the standalone
+    layout when the hierarchy is partitioned per stage.
+    """
+
+    label: str
+    nf_name: str
+    prefix: str
+    entry: str  # prefixed entry function name inside the chain module
+    address_offset: int
+    region_names: list[str] = field(default_factory=list)
+    contention_regions: list[str] = field(default_factory=list)
+    nf_class: str = "misc"
+
+
+@dataclass
 class NetworkFunction:
     """A compiled NF plus the metadata the pipeline needs."""
 
@@ -48,6 +70,13 @@ class NetworkFunction:
     manual_workload: Callable[[int], list[Packet]] | None = None
     # Names of the large regions worth covering with the cache model.
     contention_regions: list[str] = field(default_factory=list)
+    # For chains: per-stage embedding metadata (empty for standalone NFs).
+    chain_stages: list[ChainStageInfo] = field(default_factory=list)
+    # When this NF runs as a chain stage, which packet field its return
+    # value rewrites for downstream stages (e.g. the NAT's translated
+    # source port).  None means the return value is only a forward/drop
+    # verdict and the packet fields pass through unchanged.
+    chain_result_rewrite: str | None = None
     notes: str = ""
 
     @property
@@ -57,6 +86,15 @@ class NetworkFunction:
     @property
     def uses_hashing(self) -> bool:
         return bool(self.hash_functions)
+
+    @property
+    def is_chain(self) -> bool:
+        return bool(self.chain_stages)
+
+    @property
+    def stage_entries(self) -> dict[str, str]:
+        """Prefixed stage entry function name -> stage label (chains only)."""
+        return {stage.entry: stage.label for stage in self.chain_stages}
 
     def packet_from_fields(self, fields: dict[str, int]) -> Packet:
         """Build a concrete packet from solver-produced field values."""

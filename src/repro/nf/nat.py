@@ -164,5 +164,6 @@ def build_nat(data_structure: str) -> NetworkFunction:
         castan_packet_count=_CASTAN_PACKET_COUNTS[data_structure],
         manual_workload=manual,
         contention_regions=list(container["contention_regions"]),
+        chain_result_rewrite="src_port",
         notes="Each new flow stores two entries keyed on related packet fields.",
     )

@@ -3,18 +3,23 @@
 ``get_nf(name)`` builds a fresh :class:`~repro.nf.base.NetworkFunction`
 (each call compiles a new module, so callers can mutate state freely).
 The names cover the paper's Table 4 rows (LPM / LB / NAT variants), the
-four scenario-expansion NFs (firewall, policer, dedup, DPI — 15 evaluation
-NFs in total) and the NOP baseline.
+four scenario-expansion NFs (firewall, policer, dedup, DPI), the two
+preset service chains and the NOP baseline — 17 evaluation NFs in total.
+``chain:`` specs compose registered NFs ad hoc (:mod:`repro.nf.chain`).
 
 >>> from repro.nf.registry import EVALUATION_NF_NAMES, NF_NAMES, get_nf
 >>> len(NF_NAMES)
-16
+18
 >>> len(EVALUATION_NF_NAMES)  # without the NOP baseline
-15
+17
 >>> get_nf("lpm-patricia").nf_class
 'lpm'
 >>> get_nf("fw-conntrack").data_structure
 'ring-buffer'
+>>> [stage.label for stage in get_nf("chain-gateway").chain_stages]
+['lpm-dpdk', 'fw-conntrack', 'nat-hash-table']
+>>> get_nf("chain:router,fw").is_chain
+True
 
 Unknown names raise a ``KeyError`` that suggests close matches:
 
@@ -22,6 +27,13 @@ Unknown names raise a ``KeyError`` that suggests close matches:
 Traceback (most recent call last):
     ...
 KeyError: "unknown NF 'lpm-patrica'; did you mean 'lpm-patricia'?"
+
+and chain parse errors name the offending stage:
+
+>>> get_nf("chain:router,fw-contrack")
+Traceback (most recent call last):
+    ...
+KeyError: "chain stage 2 ('fw-contrack') in 'chain:router,fw-contrack' is not a registered NF; did you mean 'fw-conntrack'?"
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import difflib
 from typing import Callable
 
 from repro.nf.base import NetworkFunction
+from repro.nf.chain import PRESET_CHAINS, build_chain, is_chain_spec
 from repro.nf.dedup import build_dedup
 from repro.nf.dpi import build_dpi
 from repro.nf.firewall import build_firewall
@@ -58,23 +71,30 @@ _BUILDERS: dict[str, Callable[[], NetworkFunction]] = {
     "policer-two-choice": build_policer,
     "dedup-bloom": build_dedup,
     "dpi-trie": build_dpi,
+    "chain-gateway": lambda: build_chain(
+        PRESET_CHAINS["chain-gateway"], name="chain-gateway"
+    ),
+    "chain-edge": lambda: build_chain(PRESET_CHAINS["chain-edge"], name="chain-edge"),
 }
 
-#: Every evaluation NF (15) plus the NOP baseline.
+#: Every evaluation NF (17) plus the NOP baseline.
 NF_NAMES: tuple[str, ...] = tuple(_BUILDERS)
 
-#: The 15 evaluation NFs (without the NOP baseline): the paper's 11
-#: Table 1-5 NFs plus the firewall / policer / dedup / DPI scenarios.
+#: The 17 evaluation NFs (without the NOP baseline): the paper's 11
+#: Table 1-5 NFs, the firewall / policer / dedup / DPI scenarios, and the
+#: two preset service chains.
 EVALUATION_NF_NAMES: tuple[str, ...] = tuple(n for n in NF_NAMES if n != "nop")
 
 
 def available_nfs() -> list[str]:
-    """Names accepted by :func:`get_nf`."""
+    """Names accepted by :func:`get_nf` (``chain:`` specs also work)."""
     return list(NF_NAMES)
 
 
 def get_nf(name: str) -> NetworkFunction:
-    """Build a fresh instance of the named NF."""
+    """Build a fresh instance of the named NF (or ``chain:`` spec)."""
+    if is_chain_spec(name):
+        return build_chain(name)
     try:
         builder = _BUILDERS[name]
     except KeyError:

@@ -146,10 +146,15 @@ class SymbolicEngine:
         hash_output_bits: dict[str, int] | None = None,
         max_loop_iterations: int = 256,
         exec_mode: str = "compiled",
+        stage_entries: dict[str, str] | None = None,
     ) -> None:
         self.module = module
         self.entry = entry
         self.packet_args = packet_args
+        # Chain NFs: prefixed stage entry function -> stage label.  Calls
+        # from the entry glue into these functions open a per-stage cost
+        # window; the matching return closes it (per-stage attribution).
+        self.stage_entries = dict(stage_entries or {})
         self.annotation = annotation
         if cache_model is None:
             # Imported here (not at module level) to keep the symbex and
@@ -699,6 +704,15 @@ class SymbolicEngine:
                 return_target=instruction.dest.name if instruction.dest else None,
             )
         )
+        if (
+            self.stage_entries
+            and caller_frame.function == self.entry
+            and callee.name in self.stage_entries
+        ):
+            # Entering a chain stage from the glue: open its cost window
+            # (the call overhead charged above stays attributed to the glue).
+            state.active_stage = self.stage_entries[callee.name]
+            state.stage_cost_base = state.current_cost
 
     def _execute_havoc(self, state: ExecutionState, instruction: Havoc) -> None:
         key_expr = self._operand(state, instruction.key)
@@ -728,6 +742,16 @@ class SymbolicEngine:
         self._charge(state, self.cycle_costs.return_cost)
         finished_frame = state.pop_frame()
         if state.frames:
+            if (
+                state.active_stage is not None
+                and finished_frame.function in self.stage_entries
+                and state.top_frame.function == self.entry
+            ):
+                label = self.stage_entries[finished_frame.function]
+                state.stage_costs[label] = state.stage_costs.get(label, 0) + (
+                    state.current_cost - state.stage_cost_base
+                )
+                state.active_stage = None
             if finished_frame.return_target is not None:
                 state.write_register(finished_frame.return_target, value)
             return

@@ -462,6 +462,28 @@ class Solver:
                 )
             return ("none", None)
 
+        if pred is CmpKind.NE and not isinstance(lhs, Sym):
+            # Disequality over a bit-field (``(sym >> s) & m != c``): no bits
+            # can be pinned, but once an earlier equality has pinned the same
+            # field to exactly ``c`` the path is definitely contradictory —
+            # the shape chains produce when two stages test one packet field
+            # with opposite outcomes.
+            matched = self._match_masked_shift(lhs)
+            if matched is not None:
+                symbol, shift, mask = matched
+                if target & ~mask:
+                    return ("none", symbol)  # lhs can never equal target
+                return ("bits_ne", symbol, mask << shift, (target & mask) << shift)
+            inverted = self._invert_raw(lhs, target)
+            if inverted is not None:
+                # ``sym == value`` implies ``lhs == target``, so the
+                # disequality soundly excludes the canonical preimage.
+                symbol, value = inverted
+                if value <= symbol.mask:
+                    return ("excl", symbol, value)
+                return ("none", symbol)
+            return ("none", None)
+
         if isinstance(lhs, Sym):
             if pred is CmpKind.NE:
                 return ("excl", lhs, target & lhs.mask)
@@ -492,6 +514,12 @@ class Solver:
                 if result == "changed":
                     outcome = "changed"
             return outcome
+        if tag == "bits_ne":
+            domain = self._domain_for(plan[1], domains)
+            mask, value = plan[2], plan[3]
+            if (domain.known_mask & mask) == mask and (domain.known_value & mask) == value:
+                return "unsat"
+            return "none"
         if tag == "lo":
             domain = self._domain_for(plan[1], domains)
             return "changed" if domain.constrain_interval(lo=plan[2]) else "unsat"

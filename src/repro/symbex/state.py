@@ -172,6 +172,13 @@ class ExecutionState:
         # reported without re-walking the metric history.
         self.round_cost_baseline = 0
 
+        # Per-stage cost attribution for chain NFs: label -> cycles spent
+        # inside that stage's entry (plus callees), across all packets.
+        # active_stage/stage_cost_base track the currently open window.
+        self.stage_costs: dict[str, int] = {}
+        self.active_stage: str | None = None
+        self.stage_cost_base = 0
+
     # -- lifecycle ------------------------------------------------------------
 
     def fork(self) -> "ExecutionState":
@@ -214,6 +221,9 @@ class ExecutionState:
         child.shadow_valid = self.shadow_valid
         child.vex_buffer = None
         child.round_cost_baseline = self.round_cost_baseline
+        child.stage_costs = dict(self.stage_costs)
+        child.active_stage = self.active_stage
+        child.stage_cost_base = self.stage_cost_base
         return child
 
     def __getstate__(self):

@@ -94,13 +94,10 @@ def _flow_for_index(nf: NetworkFunction, index: int, rng: random.Random) -> Flow
     """
     hints = nf.workload_hints
     protocol = hints.get("protocol", int(IPProtocol.UDP))
-    if "dst_ip" in hints:  # LB-style: destination pinned to the VIP
-        dst_ip = hints["dst_ip"]
-        wrap, host = divmod(index, 0xFFFFFF)
-        src_ip = 0x0B000000 + host + 1
-        src_port = 1024 + ((host * 7 + wrap) % 60000)
-        dst_port = 80
-    elif "src_ip_prefix" in hints:  # NAT-style: sources inside the internal prefix
+    # NAT-style sources win when both hints are present (chains composing a
+    # NAT/firewall with a router pin the destination *and* need internal
+    # sources); the hinted destination then rides along.
+    if "src_ip_prefix" in hints:  # NAT-style: sources inside the internal prefix
         prefix = hints["src_ip_prefix"]
         bits = hints.get("src_ip_prefix_bits", 8)
         host_space = (1 << (32 - bits)) - 1
@@ -108,9 +105,15 @@ def _flow_for_index(nf: NetworkFunction, index: int, rng: random.Random) -> Flow
         # Odd-multiplier Knuth scrambling is a bijection on the host space;
         # forcing a bit (the old ``| 1``) would fold pairs of hosts together.
         src_ip = prefix | ((host_index * 2654435761) & host_space)
-        dst_ip = 0x08080808
+        dst_ip = hints.get("dst_ip", 0x08080808)
         src_port = 1024 + ((host_index * 13 + wrap) % 60000)
         dst_port = 80 if index % 2 == 0 else 443
+    elif "dst_ip" in hints:  # LB-style: destination pinned to the VIP
+        dst_ip = hints["dst_ip"]
+        wrap, host = divmod(index, 0xFFFFFF)
+        src_ip = 0x0B000000 + host + 1
+        src_port = 1024 + ((host * 7 + wrap) % 60000)
+        dst_port = 80
     else:  # LPM-style: destinations spread over the address space
         dst_ip = rng.getrandbits(32)
         wrap, host = divmod(index, 0x10000)

@@ -50,7 +50,7 @@ class TestExecTierDifferential:
     """Smoke-scale differential across all evaluation NFs and exec tiers."""
 
     def test_covers_all_evaluation_nfs(self, mode_results):
-        assert len(EVALUATION_NF_NAMES) == 15
+        assert len(EVALUATION_NF_NAMES) == 17
         for mode in _MODES:
             assert set(mode_results[mode]) == set(EVALUATION_NF_NAMES)
 

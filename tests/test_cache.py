@@ -278,3 +278,175 @@ class TestCacheModels:
         model.on_access(region, Const(0), False, lambda c: True, lambda e: 0)
         decision = model.on_access(region, symbol, False, lambda c: True, lambda e: 1)
         assert evaluate(decision.constraint, {"idx": decision.index}) == 1
+
+
+class TestWayPartitioning:
+    """Way-partition helpers: same set structure, reduced associativity."""
+
+    def test_way_partition_geometry_and_cold_start(self):
+        cache = SetAssociativeCache(num_sets=8, associativity=4, line_size=64)
+        cache.access(0)
+        part = cache.way_partition(2)
+        assert (part.num_sets, part.associativity, part.line_size) == (8, 2, 64)
+        assert part.occupancy() == 0  # a new tenant starts cold
+
+    def test_way_partition_same_sets_fewer_ways(self):
+        cache = SetAssociativeCache(num_sets=8, associativity=4, line_size=64)
+        part = cache.way_partition(2)
+        # Three distinct lines of one set fit the 4-way cache but overflow
+        # the 2-way partition — same indexing, smaller per-set capacity.
+        stride = 8 * 64
+        for address in (0, stride, 2 * stride):
+            cache.access(address)
+            part.access(address)
+        assert cache.access(0) is True
+        assert part.access(0) is False
+
+    @pytest.mark.parametrize("ways", [0, 5, -1])
+    def test_way_partition_rejects_bad_ways(self, ways):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(num_sets=8, associativity=4).way_partition(ways)
+
+    def test_hierarchy_way_partitioned_keeps_set_structure(self):
+        config = tiny_hierarchy().config
+        half = config.way_partitioned(2)
+        assert half.l3_ways == 2
+        assert half.l3_size == config.l3_size // 2
+        assert half.l3_sets_per_slice == config.l3_sets_per_slice
+        assert half.l3_slices == config.l3_slices
+        assert (half.l1_size, half.l2_size) == (config.l1_size, config.l2_size)
+        MemoryHierarchy(half)  # the partitioned geometry is still valid
+
+    @pytest.mark.parametrize("ways", [0, 5])
+    def test_hierarchy_way_partitioned_rejects_bad_ways(self, ways):
+        with pytest.raises(ValueError):
+            tiny_hierarchy().config.way_partitioned(ways)
+
+
+class TestPartitionedCacheModel:
+    """``cache_partition="partitioned"``: each chain stage's cache slice
+    must reproduce the stage's *standalone* access decisions bit-exactly,
+    no matter how the stages' accesses interleave through the chain."""
+
+    @staticmethod
+    def _partitioned_model(castan, chain):
+        from repro.cache.model import PartitionedCacheModel
+
+        model, contention_sets = castan._build_cache_model(chain)
+        assert contention_sets is None
+        assert isinstance(model, PartitionedCacheModel)
+        return model
+
+    @staticmethod
+    def _decision_key(decision):
+        constraint = decision.constraint
+        return (
+            decision.index,
+            decision.address,
+            decision.level,
+            decision.caused_eviction,
+            None if constraint is None else repr(constraint),
+        )
+
+    @staticmethod
+    def _digest(keys) -> str:
+        import hashlib
+
+        return hashlib.sha256(repr(keys).encode()).hexdigest()
+
+    @staticmethod
+    def _access_stream(region, salt: str):
+        """Concrete and symbolic accesses exercising concretization,
+        residency and eviction.  The same ``Sym`` objects drive both the
+        partitioned and the standalone run, so constraints must intern to
+        the same expressions."""
+        stream = []
+        for i in range(48):
+            if i % 3 == 2:
+                stream.append(Sym(f"pidx_{salt}_{i}", 32))
+            else:
+                stream.append(Const((i * 37) % region.length))
+        return stream
+
+    def test_partitioned_slices_reproduce_standalone_digests(self):
+        from repro.core.castan import Castan
+        from repro.core.config import CastanConfig
+        from repro.nf.registry import get_nf
+
+        castan = Castan(CastanConfig(cache_partition="partitioned"))
+        chain = get_nf("chain-gateway")
+        partitioned = self._partitioned_model(castan, chain)
+
+        # One (chain region, standalone region, standalone model) case per
+        # stage, plus the access stream both runs will see.
+        cases = []
+        for stage in chain.chain_stages:
+            standalone_nf = get_nf(stage.nf_name)
+            standalone_model, _ = Castan(CastanConfig())._build_cache_model(standalone_nf)
+            region_name = stage.contention_regions[0]
+            chain_region = chain.module.get_region(region_name)
+            standalone_region = standalone_nf.module.get_region(
+                region_name[len(stage.prefix):]
+            )
+            assert chain_region.base_address == (
+                standalone_region.base_address + stage.address_offset
+            )
+            stream = self._access_stream(standalone_region, stage.label)
+            cases.append((stage, chain_region, standalone_region, standalone_model, stream, []))
+        assert len(cases) == 3
+
+        # Interleave the stages' accesses round-robin through the chain's
+        # partitioned model: with true per-stage slices the interleaving
+        # cannot perturb any stage's decision stream.
+        for i in range(len(cases[0][4])):
+            for _, chain_region, _, _, stream, observed in cases:
+                decision = partitioned.on_access(
+                    chain_region, stream[i], False, lambda c: True, lambda e: 1
+                )
+                observed.append(self._decision_key(decision))
+
+        for stage, _, standalone_region, standalone_model, stream, observed in cases:
+            reference = [
+                self._decision_key(
+                    standalone_model.on_access(
+                        standalone_region, expr, False, lambda c: True, lambda e: 1
+                    )
+                )
+                for expr in stream
+            ]
+            assert self._digest(observed) == self._digest(reference), stage.label
+
+    def test_partitioned_routes_reject_foreign_regions(self):
+        from repro.core.castan import Castan
+        from repro.core.config import CastanConfig
+        from repro.nf.registry import get_nf
+
+        castan = Castan(CastanConfig(cache_partition="partitioned"))
+        partitioned = self._partitioned_model(castan, get_nf("chain-gateway"))
+        mystery = MemoryRegion(name="mystery", length=64, element_size=8, base_address=1 << 40)
+        with pytest.raises(KeyError, match="not assigned to any chain stage"):
+            partitioned.on_access(mystery, Const(0), False, lambda c: True, lambda e: 0)
+
+    def test_partitioned_clone_isolates_slices(self):
+        from repro.core.castan import Castan
+        from repro.core.config import CastanConfig
+        from repro.nf.registry import get_nf
+
+        castan = Castan(CastanConfig(cache_partition="partitioned"))
+        chain = get_nf("chain-gateway")
+        partitioned = self._partitioned_model(castan, chain)
+        region = chain.module.get_region(chain.chain_stages[0].contention_regions[0])
+        partitioned.on_access(region, Const(3), False, lambda c: True, lambda e: 3)
+        clone = partitioned.clone()
+        clone.on_access(region, Const(9), False, lambda c: True, lambda e: 9)
+        assert clone.stats.accesses == partitioned.stats.accesses + 1
+        assert len(clone.stage_stats()) == len(chain.chain_stages)
+
+    def test_rejects_unknown_partition_mode(self):
+        from repro.core.castan import Castan
+        from repro.core.config import CastanConfig
+        from repro.nf.registry import get_nf
+
+        castan = Castan(CastanConfig(cache_partition="sliced"))
+        with pytest.raises(ValueError, match="cache_partition"):
+            castan._build_cache_model(get_nf("nop"))

@@ -48,9 +48,9 @@ def nat_packet(i, dport=80):
 
 
 class TestRegistry:
-    def test_sixteen_nfs_available(self):
-        assert len(available_nfs()) == 16
-        assert len(EVALUATION_NF_NAMES) == 15  # without the NOP baseline
+    def test_eighteen_nfs_available(self):
+        assert len(available_nfs()) == 18
+        assert len(EVALUATION_NF_NAMES) == 17  # without the NOP baseline
 
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError):

@@ -91,7 +91,7 @@ def _install_phase_probes(clock: PhaseClock) -> list:
 
     undo = []
     undo.append(clock.wrap(blockc, "_compile_block", "block compile"))
-    undo.append(clock.wrap(SymbolicEngine, "execute_until_fork", "step"))
+    undo.extend(_install_stage_probes(clock))
     undo.append(clock.wrap(Solver, "check", "solver"))
     undo.append(clock.wrap(Solver, "quick_feasible", "solver"))
     undo.append(clock.wrap(SolverContext, "feasible_with", "solver"))
@@ -103,6 +103,63 @@ def _install_phase_probes(clock: PhaseClock) -> list:
     undo.append(clock.wrap(vexec.VectorExecutor, "regroup", "vector group"))
     undo.append(clock.wrap(vexec.VectorExecutor, "apply", "vector apply"))
     return undo
+
+
+def _install_stage_probes(clock: PhaseClock) -> list:
+    """Stage-aware stepping: chain NFs get one ``stage:<label>`` phase per
+    stage (exclusive wall share) instead of lumping everything into "step".
+
+    The stage window opens when the entry glue calls a stage entry and
+    closes when it returns (mirroring the engine's per-stage cost
+    attribution); a state resuming mid-stage re-enters its stage phase at
+    the top of the step.
+    """
+    from repro.symbex.engine import SymbolicEngine
+
+    orig_step = SymbolicEngine.execute_until_fork
+    orig_call = SymbolicEngine._execute_call
+    orig_return = SymbolicEngine._execute_return
+
+    def timed_step(self, state, *args, **kwargs):
+        depth = len(clock._stack)
+        clock.push("step")
+        if state.active_stage is not None:
+            clock.push(f"stage:{state.active_stage}")
+        try:
+            return orig_step(self, state, *args, **kwargs)
+        finally:
+            # A state can fork or pause mid-stage; unwind whatever stage
+            # phases are still open along with our "step".
+            while len(clock._stack) > depth:
+                clock.pop()
+
+    def timed_call(self, state, instruction):
+        before = state.active_stage
+        result = orig_call(self, state, instruction)
+        if state.active_stage is not None and state.active_stage is not before:
+            clock.push(f"stage:{state.active_stage}")
+        return result
+
+    def timed_return(self, state, instruction):
+        before = state.active_stage
+        result = orig_return(self, state, instruction)
+        if (
+            before is not None
+            and state.active_stage is None
+            and clock._stack
+            and clock._stack[-1] == f"stage:{before}"
+        ):
+            clock.pop()
+        return result
+
+    SymbolicEngine.execute_until_fork = timed_step
+    SymbolicEngine._execute_call = timed_call
+    SymbolicEngine._execute_return = timed_return
+    return [
+        (SymbolicEngine, "execute_until_fork", orig_step),
+        (SymbolicEngine, "_execute_call", orig_call),
+        (SymbolicEngine, "_execute_return", orig_return),
+    ]
 
 
 def _uninstall(undo: list) -> None:
@@ -174,7 +231,10 @@ def profile_cprofile(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--nf", default="nat-hash-table", choices=sorted(NF_NAMES))
+    parser.add_argument(
+        "--nf", default="nat-hash-table",
+        help=f"registry name or chain: spec; registered: {', '.join(sorted(NF_NAMES))}",
+    )
     parser.add_argument("--max-states", type=int, default=250)
     parser.add_argument("--num-packets", type=int, default=None)
     parser.add_argument("--exec-mode", default="compiled", choices=EXEC_MODES)
