@@ -112,8 +112,22 @@ class Castan:
 
     # -- public API -----------------------------------------------------------
 
-    def analyze(self, nf: NetworkFunction, num_packets: int | None = None) -> CastanResult:
-        """Synthesize an adversarial workload for ``nf``."""
+    def analyze(
+        self,
+        nf: NetworkFunction,
+        num_packets: int | None = None,
+        on_round=None,
+    ) -> CastanResult:
+        """Synthesize an adversarial workload for ``nf``.
+
+        ``on_round`` is an optional observation-only progress callback
+        (``RoundStats -> None``): beam and sharded-beam searches call it
+        after every round, and a monolithic search calls it once with a
+        single summarising pseudo-round (phase ``"monolithic"``), so a
+        caller streaming progress — the synthesis service — always sees at
+        least one round before the result.  The callback must not mutate
+        its argument; it cannot influence the search.
+        """
         config = self.config
         start = time.monotonic()
         # `is None`, not truthiness: an explicit num_packets=0 must not be
@@ -143,7 +157,7 @@ class Castan:
             exec_mode=config.exec_mode,
             stage_entries=nf.stage_entries or None,
         )
-        stats = self._run_search(engine)
+        stats = self._run_search(engine, on_round=on_round)
 
         best = stats.best_state()
         if best is None:
@@ -184,7 +198,7 @@ class Castan:
 
     # -- pipeline stages -----------------------------------------------------------
 
-    def _run_search(self, engine: SymbolicEngine) -> SymbexStats:
+    def _run_search(self, engine: SymbolicEngine, on_round=None) -> SymbexStats:
         """Dispatch to the monolithic, beam, or sharded-beam search."""
         config = self.config
         if config.search_mode not in ("monolithic", "beam"):
@@ -222,6 +236,7 @@ class Castan:
                 round_deadline_seconds=config.round_deadline_seconds,
                 strike_chunk_states=config.strike_chunk_states,
                 strike_shards=config.strike_shards,
+                on_round=on_round,
             )
 
         if config.search_mode == "beam" and config.beam_width > 0:
@@ -235,13 +250,41 @@ class Castan:
                 round_max_states=config.round_max_states,
                 round_deadline_seconds=config.round_deadline_seconds,
                 strike_chunk_states=config.strike_chunk_states,
+                on_round=on_round,
             )
-        return engine.run(
+        stats = engine.run(
             searcher_factory(),
             max_states=config.max_states,
             deadline_seconds=config.deadline_seconds,
             max_instructions_per_state=config.max_instructions_per_state,
         )
+        if on_round is not None:
+            # One summarising pseudo-round, so progress subscribers see the
+            # same event shape regardless of search_mode.  Not appended to
+            # stats.rounds: a monolithic search still reports 0 rounds.
+            from repro.symbex.batch import RoundStats
+
+            frontier = stats.paused_states + stats.pending_states
+            on_round(
+                RoundStats(
+                    packet_index=len(engine.packet_args) - 1,
+                    phase="monolithic",
+                    seeds=1,
+                    states_explored=stats.states_explored,
+                    forks=stats.forks,
+                    paused=len(stats.paused_states),
+                    pending=len(stats.pending_states),
+                    completed=len(stats.completed_states),
+                    infeasible=stats.infeasible_states,
+                    errors=stats.error_states,
+                    best_cost=max(
+                        (s.current_cost for s in frontier + stats.completed_states),
+                        default=0,
+                    ),
+                    wall_time_seconds=stats.wall_time_seconds,
+                )
+            )
+        return stats
 
     def _annotate(self, nf: NetworkFunction) -> CostAnnotation:
         return annotate_costs(

@@ -2,10 +2,41 @@
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.cache.hierarchy import HierarchyConfig
 from repro.perf.cycles import CycleCosts, DEFAULT_CYCLE_COSTS
+
+#: Version tag mixed into every :meth:`CastanConfig.content_hash`.  Bump it
+#: whenever the canonical form below changes meaning (a field is renamed,
+#: a default's semantics change), so stored service results keyed by the
+#: old form can never be served for the new one.
+CONFIG_HASH_VERSION = "castan-config-v1"
+
+
+def _canonical_value(value):
+    """Reduce a config value to plain JSON-stable data.
+
+    Dataclasses become ``{field: value}`` dicts (sorted by the JSON dump),
+    dicts get stringified keys, and containers canonicalize element-wise.
+    Only data that survives a JSON round-trip unchanged is allowed — config
+    must stay declarative so its hash can address stored results.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _canonical_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    raise TypeError(f"config value {value!r} is not canonicalizable")
 
 
 @dataclass
@@ -88,6 +119,58 @@ class CastanConfig:
     # Solver search budget (backtracking nodes).
     solver_budget: int = 8000
     seed: int = 0xCA57A
+
+    # -- canonical form and content addressing --------------------------------
+
+    def to_canonical_dict(self) -> dict:
+        """The config as plain, JSON-serialisable data.
+
+        Field order is irrelevant (hashing sorts keys); nested dataclasses
+        (``hierarchy``, ``cycle_costs``) flatten recursively.  The inverse
+        is :meth:`from_dict`.
+        """
+        return _canonical_value(self)
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 over the canonical form of every field.
+
+        Two configs hash equal iff every field (including the nested
+        hierarchy geometry and cycle-cost table) is equal, regardless of
+        construction order or process.  The service result store uses this
+        hash — together with the NF fingerprint — as the content address of
+        an analysis, so *any* drift in canonicalization would silently
+        repoint stored results; ``tests/test_config_hash.py`` pins a golden
+        hash against exactly that.
+        """
+        payload = json.dumps(
+            [CONFIG_HASH_VERSION, self.to_canonical_dict()],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CastanConfig":
+        """Build a config from (possibly partial) plain-dict overrides.
+
+        Unknown keys raise ``ValueError`` (a typoed knob in a service job
+        must fail the submission, not silently analyze with defaults);
+        nested ``hierarchy`` / ``cycle_costs`` dicts override field-wise on
+        top of their defaults.
+        """
+        known = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown CastanConfig field(s) {', '.join(map(repr, unknown))}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        kwargs = dict(data)
+        if isinstance(kwargs.get("hierarchy"), dict):
+            kwargs["hierarchy"] = HierarchyConfig(**kwargs["hierarchy"])
+        if isinstance(kwargs.get("cycle_costs"), dict):
+            kwargs["cycle_costs"] = CycleCosts(**kwargs["cycle_costs"])
+        return cls(**kwargs)
 
     def packets_for(self, nf_default: int) -> int:
         """Resolve the packet count for an NF with the given default.

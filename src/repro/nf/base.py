@@ -10,6 +10,7 @@ hand-crafted *Manual* adversarial workload (§5.1).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -95,6 +96,50 @@ class NetworkFunction:
     def stage_entries(self) -> dict[str, str]:
         """Prefixed stage entry function name -> stage label (chains only)."""
         return {stage.entry: stage.label for stage in self.chain_stages}
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 identity of *what this NF analyzes as*.
+
+        Covers the compiled module (textual NFIL listing, which renders
+        every instruction, region geometry and base address), each region's
+        initial contents (the listing omits them), and the analysis-relevant
+        metadata: entry point, packet defaults, workload hints, per-NF
+        packet count, hash-function names and output widths, contention
+        regions and chain composition.  Hash *callables* are identified by
+        name only — the registry binds names to implementations, so a
+        changed implementation must change either the name or the module.
+
+        Together with :meth:`repro.core.config.CastanConfig.content_hash`
+        this is the content address of an analysis: the service result
+        store treats equal fingerprints as "the same NF", so any input the
+        pipeline reads must be folded in here.
+        """
+        from repro.ir.printer import print_module
+
+        digest = hashlib.sha256()
+
+        def feed(tag: str, text: str) -> None:
+            digest.update(f"{tag}={text}\x00".encode())
+
+        feed("name", self.name)
+        feed("entry", self.entry)
+        feed("module", print_module(self.module))
+        for region in self.module.regions.values():
+            initial = ",".join(f"{i}:{v}" for i, v in sorted(region.initial.items()))
+            feed(f"region-initial:{region.name}", initial)
+        feed("packet_defaults", repr(sorted(self.packet_defaults.items())))
+        feed("workload_hints", repr(sorted(self.workload_hints.items())))
+        feed("castan_packet_count", str(self.castan_packet_count))
+        feed("hash_functions", ",".join(sorted(self.hash_functions)))
+        feed("hash_output_bits", repr(sorted(self.hash_output_bits.items())))
+        feed("contention_regions", ",".join(self.contention_regions))
+        feed("chain_result_rewrite", str(self.chain_result_rewrite))
+        for stage in self.chain_stages:
+            feed(
+                f"stage:{stage.label}",
+                f"{stage.nf_name}|{stage.prefix}|{stage.entry}|{stage.address_offset}",
+            )
+        return digest.hexdigest()
 
     def packet_from_fields(self, fields: dict[str, int]) -> Packet:
         """Build a concrete packet from solver-produced field values."""

@@ -4,7 +4,7 @@ Two independent axes of parallelism, selected by
 :attr:`repro.core.config.CastanConfig.parallel_mode`:
 
 * ``"portfolio"`` — :class:`~repro.parallel.portfolio.PortfolioRunner` fans a
-  *set of NFs* (the 15-NF evaluation suite) out over worker
+  *set of NFs* (the 17-NF evaluation suite) out over worker
   processes, one full ``Castan`` analysis per task, and merges the results
   back in registry order.  Per-NF analyses are deterministic and
   independent, so the merged output is byte-identical to a sequential run.
@@ -19,15 +19,23 @@ States travel between processes through the compact pickle path added to
 :class:`~repro.symbex.state.ExecutionState` /
 :class:`~repro.symbex.incremental.SolverContext` (expressions re-interned,
 constraint chains re-fingerprinted on load).
+
+A third, service-shaped piece lives in :mod:`repro.parallel.lease`: the
+:class:`~repro.parallel.lease.WorkerLease` heartbeat/budget supervision the
+synthesis service (:mod:`repro.service`) wraps around each per-job worker
+process.
 """
 
-from repro.parallel.pool import make_pool
+from repro.parallel.lease import WorkerLease
+from repro.parallel.pool import make_context, make_pool
 from repro.parallel.portfolio import PortfolioRunner, analyze_one_nf
 from repro.parallel.shards import run_sharded_beam_search
 
 __all__ = [
     "PortfolioRunner",
+    "WorkerLease",
     "analyze_one_nf",
+    "make_context",
     "make_pool",
     "run_sharded_beam_search",
 ]

@@ -13,6 +13,19 @@ from concurrent.futures import ProcessPoolExecutor
 _START_METHODS = ("fork", "spawn")
 
 
+def make_context() -> multiprocessing.context.BaseContext:
+    """The preferred multiprocessing context (``fork`` where available).
+
+    Shared by the pool below and by the synthesis service's per-job worker
+    processes (:mod:`repro.parallel.lease`), so every process this package
+    spawns starts the same way.
+    """
+    for method in _START_METHODS:
+        if method in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()
+
+
 def make_pool(workers: int) -> ProcessPoolExecutor | None:
     """A process pool with ``workers`` workers, or ``None`` for ``workers<=1``.
 
@@ -22,9 +35,4 @@ def make_pool(workers: int) -> ProcessPoolExecutor | None:
     """
     if workers <= 1:
         return None
-    context = None
-    for method in _START_METHODS:
-        if method in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context(method)
-            break
-    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    return ProcessPoolExecutor(max_workers=workers, mp_context=make_context())

@@ -27,11 +27,19 @@ def analyze_one_nf(
     name: str,
     config: CastanConfig,
     num_packets: int | None = None,
+    on_round=None,
 ) -> CastanResult:
-    """Worker entry point: one full ``Castan`` analysis of one NF."""
+    """Worker entry point: one full ``Castan`` analysis of one NF.
+
+    ``name`` accepts anything :func:`~repro.nf.registry.get_nf` does,
+    including ad-hoc ``chain:`` specs.  ``on_round`` streams per-round
+    progress (see :meth:`~repro.core.castan.Castan.analyze`); the synthesis
+    service (:mod:`repro.service`) runs its jobs through this same entry
+    point so served and portfolio results are produced by identical code.
+    """
     from repro.nf.registry import get_nf
 
-    return Castan(config).analyze(get_nf(name), num_packets=num_packets)
+    return Castan(config).analyze(get_nf(name), num_packets=num_packets, on_round=on_round)
 
 
 def _scheduling_weight(name: str) -> int:

@@ -106,6 +106,7 @@ def run_sharded_beam_search(
     strike_chunk_states: int = 32,
     strike_shards: int | None = None,
     max_pending_report: int | None = 512,
+    on_round=None,
 ) -> SymbexStats:
     """Per-packet beam search with rounds decomposed into parallel shards.
 
@@ -115,6 +116,10 @@ def run_sharded_beam_search(
     share a searcher.  ``max_states`` remains a global cap — per-shard caps
     are clamped to the budget remaining before each round, so one round may
     overshoot it by at most ``shards - 1`` shard budgets.
+
+    ``on_round`` (observation only, like the sequential scheduler's) fires
+    once per *shard* as each round's results merge — in shard order, after
+    the shard completed, so streaming progress never perturbs the schedule.
     """
     num_packets = len(engine.packet_args)
     if beam_width <= 0 or num_packets == 0:
@@ -235,6 +240,8 @@ def run_sharded_beam_search(
                         wall_time_seconds=stats.wall_time_seconds,
                     )
                 )
+                if on_round is not None:
+                    on_round(total.rounds[-1])
             rounds_ran += 1
             return shard_stats, frontier
 

@@ -1,0 +1,84 @@
+"""``python -m repro.service`` — run the synthesis job server.
+
+The store location comes from ``--store``, falling back to the
+``REPRO_SERVICE_STORE`` environment variable, falling back to
+``.repro-store`` in the working directory.  ``--port 0`` binds an
+ephemeral port (printed on startup), which is what the smoke tooling uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import os
+
+from repro.service.http import serve
+from repro.service.server import SynthesisService
+from repro.service.store import ResultStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8321, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory (default: $REPRO_SERVICE_STORE or ./.repro-store)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="max concurrently running analyses"
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=600.0,
+        help="per-job wall-clock budget in seconds (<= 0 disables)",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help="revoke a worker that stops heartbeating for this long (<= 0 disables)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries after a revoked/crashed attempt (attempts = retries + 1)",
+    )
+    return parser
+
+
+async def run(args: argparse.Namespace) -> None:
+    store_root = args.store or os.environ.get("REPRO_SERVICE_STORE") or ".repro-store"
+    store = ResultStore(store_root)
+    service = SynthesisService(
+        store,
+        max_concurrent_jobs=args.jobs,
+        job_timeout=args.job_timeout if args.job_timeout > 0 else None,
+        lease_timeout=args.lease_timeout if args.lease_timeout > 0 else None,
+        max_attempts=args.retries + 1,
+    )
+    server = await serve(service, host=args.host, port=args.port)
+    host, port = server.sockets[0].getsockname()[:2]
+    print(f"repro.service listening on http://{host}:{port} (store: {store.root})", flush=True)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await service.shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(run(args))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Blocking stdlib client for the synthesis service.
+
+Used by the ``tools/repro_submit.py`` / ``tools/repro_status.py`` CLIs, the
+``service-smoke`` CI job and the tier-1 service tests.  One
+``http.client.HTTPConnection`` per request (the server closes connections
+after each response); :meth:`ServiceClient.stream` holds its connection
+open and yields NDJSON events as the server writes them.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pickle
+import time
+from typing import Iterator
+
+from repro.core.castan import CastanResult
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (status + server message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running :mod:`repro.service` server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        if response.headers.get_content_type() == "application/octet-stream":
+            if response.status != 200:
+                raise ServiceError(response.status, raw.decode(errors="replace"))
+            return raw
+        data = json.loads(raw) if raw else {}
+        if response.status != 200:
+            raise ServiceError(response.status, data.get("error", raw.decode(errors="replace")))
+        return data
+
+    # -- API ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        nf_spec: str,
+        config: dict | None = None,
+        num_packets: int | None = None,
+    ) -> dict:
+        """Submit one job; returns its job dict (``cached`` marks a hit)."""
+        body: dict = {"nf": nf_spec}
+        if config:
+            body["config"] = config
+        if num_packets is not None:
+            body["num_packets"] = num_packets
+        return self._request("POST", "/jobs", body)
+
+    def submit_many(
+        self,
+        nf_specs: list[str],
+        config: dict | None = None,
+        num_packets: int | None = None,
+    ) -> list[dict]:
+        """Submit a portfolio of jobs in one request (one job per NF)."""
+        body: dict = {"nfs": list(nf_specs)}
+        if config:
+            body["config"] = config
+        if num_packets is not None:
+            body["num_packets"] = num_packets
+        return self._request("POST", "/jobs", body)["jobs"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def result_meta(self, job_id: str) -> dict:
+        """Stored metadata (summary + perf record) of a finished job."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def result(self, job_id: str) -> CastanResult:
+        """The full stored :class:`CastanResult` of a finished job."""
+        return pickle.loads(self._request("GET", f"/jobs/{job_id}/result.pkl"))
+
+    def store_keys(self) -> list[str]:
+        return self._request("GET", "/store")["keys"]
+
+    def store_meta(self, key: str) -> dict:
+        return self._request("GET", f"/store/{key}")
+
+    def stream(self, job_id: str, timeout: float | None = None) -> Iterator[dict]:
+        """Yield the job's NDJSON events (history replay, then live).
+
+        The iterator ends after the terminal ``"end"`` event; ``timeout``
+        bounds the *whole* stream (falls back to the client default).
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout if timeout is not None else self.timeout
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                data = json.loads(raw) if raw else {}
+                raise ServiceError(response.status, data.get("error", ""))
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                yield event
+                if event.get("event") == "end":
+                    return
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        """Follow the job's stream to its end; returns the final job dict."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        for event in self.stream(job_id, timeout=timeout):
+            if event.get("event") == "end":
+                return event["job"]
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} did not finish within {timeout}s")
+        raise ServiceError(500, f"stream for {job_id} ended without a terminal event")

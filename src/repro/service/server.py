@@ -1,0 +1,358 @@
+"""Synthesis-as-a-service: the asyncio job server core.
+
+:class:`SynthesisService` turns the one-shot CLI pipeline into a
+long-running analysis service:
+
+* **submission** validates the job eagerly (unknown NF names and typoed
+  config knobs fail the submit, not the worker), computes its content
+  address, and either short-circuits to the store (**cache hit**: the job
+  is born ``done`` with the persisted result and perf record, no worker
+  ever starts) or enqueues it;
+* **scheduling** is a fixed set of asyncio consumer tasks
+  (``max_concurrent_jobs``) pulling from one queue — submission order in,
+  bounded concurrency out;
+* **execution** spawns one worker process per attempt
+  (:func:`~repro.service.worker.run_job_worker`, running the same
+  :func:`~repro.parallel.portfolio.analyze_one_nf` entry point the
+  portfolio uses) under a :class:`~repro.parallel.lease.WorkerLease`:
+  heartbeats prove liveness, ``job_timeout`` bounds wall clock, and a
+  revoked or crashed attempt retries up to ``max_attempts`` times before
+  the job fails;
+* **progress** streams live: every :class:`~repro.symbex.batch.RoundStats`
+  the worker reports is appended to the job's event history and fanned out
+  to subscribers (the HTTP layer's NDJSON stream), so clients follow the
+  search round by round instead of waiting for the end-of-run result;
+* **completion** persists ``(result, perf record)`` into the
+  content-addressed :class:`~repro.service.store.ResultStore`, which is
+  exactly what makes the *next* submission of the same ``(nf, config)``
+  free.
+
+The service core is HTTP-agnostic; :mod:`repro.service.http` exposes it
+over REST and :mod:`repro.service.client` is the matching stdlib client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+
+from repro.core.config import CastanConfig
+from repro.nf.registry import get_nf
+from repro.parallel.lease import WorkerLease
+from repro.parallel.pool import make_context
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+)
+from repro.service.store import ResultStore, perf_record, result_summary
+from repro.service.worker import run_job_worker
+
+#: Sentinel returned by the queue-poll helper when no event arrived.
+_NO_EVENT = object()
+
+
+class SynthesisService:
+    """Job table + scheduler + worker supervision (no transport)."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        max_concurrent_jobs: int = 2,
+        job_timeout: float | None = 600.0,
+        lease_timeout: float | None = 30.0,
+        heartbeat_interval: float = 1.0,
+        max_attempts: int = 2,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.max_concurrent_jobs = max(1, max_concurrent_jobs)
+        self.job_timeout = job_timeout
+        self.lease_timeout = lease_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.max_attempts = max(1, max_attempts)
+        self.poll_interval = poll_interval
+        self.jobs: dict[str, JobRecord] = {}
+        self._job_ids = itertools.count(1)
+        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._events: dict[str, list[dict]] = {}
+        self._subscribers: dict[str, set[asyncio.Queue]] = {}
+        self._leases: dict[str, WorkerLease] = {}
+        self._tasks: list[asyncio.Task] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the scheduler tasks (idempotent)."""
+        if self._tasks:
+            return
+        self._tasks = [
+            asyncio.create_task(self._scheduler(), name=f"scheduler-{i}")
+            for i in range(self.max_concurrent_jobs)
+        ]
+
+    async def shutdown(self) -> None:
+        """Stop schedulers and revoke every live worker."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        for lease in list(self._leases.values()):
+            lease.revoke()
+        self._leases.clear()
+
+    # -- submission / inspection ----------------------------------------------
+
+    def submit(
+        self,
+        nf_spec: str,
+        config_overrides: dict | None = None,
+        num_packets: int | None = None,
+    ) -> JobRecord:
+        """Validate, address, and either cache-hit or enqueue one job.
+
+        Raises ``KeyError`` for unknown NF specs and ``ValueError`` for
+        unknown config fields — submission is the validation boundary, so
+        a worker never starts on a job that cannot run.
+        """
+        config = CastanConfig.from_dict(config_overrides or {})
+        nf = get_nf(nf_spec)  # KeyError (with suggestions) on unknown specs
+        cache_key = self.store.key_for(nf, config, num_packets)
+        job = JobRecord(
+            job_id=f"job-{next(self._job_ids):04d}",
+            nf_spec=nf_spec,
+            config=config.to_canonical_dict(),
+            num_packets=num_packets,
+            cache_key=cache_key,
+            config_hash=config.content_hash(),
+            nf_fingerprint=nf.fingerprint(),
+            max_attempts=self.max_attempts,
+        )
+        self.jobs[job.job_id] = job
+        self._events[job.job_id] = []
+
+        meta = self.store.get_meta(cache_key)
+        if meta is not None:
+            # The content address already has a result: serve it without
+            # running anything.  This is the acceptance criterion of the
+            # whole service — an unchanged (nf, config) resubmission is free.
+            job.cached = True
+            job.state = DONE
+            job.result_summary = meta["result"]
+            job.perf = meta["perf"]
+            job.finished_at = time.time()
+            self._publish_status(job)
+            self._publish_end(job)
+            return job
+
+        self._publish_status(job)
+        self._queue.put_nowait(job.job_id)
+        return job
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Request cancellation; queued jobs die immediately, running ones
+        are revoked by their drain loop at the next poll tick."""
+        job = self.jobs[job_id]
+        if job.is_terminal:
+            return job
+        job.cancel_requested = True
+        if job.state == QUEUED:
+            # The scheduler will skip it when it pops; settle it now so the
+            # client sees the terminal state without waiting for the pop.
+            job.state = CANCELLED
+            job.finished_at = time.time()
+            self._publish_status(job)
+            self._publish_end(job)
+        return job
+
+    def job_list(self) -> list[JobRecord]:
+        return list(self.jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # -- event pub/sub --------------------------------------------------------
+
+    def subscribe(self, job_id: str) -> asyncio.Queue:
+        """An event queue preloaded with the job's full history.
+
+        Every event of the job's life is replayed first, then live events
+        follow; after a terminal ``"end"`` event no further events arrive.
+        The caller must :meth:`unsubscribe` when done.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self._events[job_id]:
+            queue.put_nowait(event)
+        self._subscribers.setdefault(job_id, set()).add(queue)
+        return queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        self._subscribers.get(job_id, set()).discard(queue)
+
+    def _publish(self, job_id: str, event: dict) -> None:
+        self._events[job_id].append(event)
+        for queue in self._subscribers.get(job_id, ()):
+            queue.put_nowait(event)
+
+    def _publish_status(self, job: JobRecord) -> None:
+        self._publish(
+            job.job_id,
+            {
+                "event": "status",
+                "job_id": job.job_id,
+                "state": job.state,
+                "cached": job.cached,
+                "attempts": job.attempts,
+                "error": job.error,
+            },
+        )
+
+    def _publish_end(self, job: JobRecord) -> None:
+        self._publish(job.job_id, {"event": "end", "job": job.to_dict()})
+
+    # -- scheduling / execution -----------------------------------------------
+
+    async def _scheduler(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            job = self.jobs[job_id]
+            if job.cancel_requested or job.is_terminal:
+                continue
+            try:
+                await self._execute(job)
+            except Exception as exc:  # defensive: a scheduler must survive
+                job.state = FAILED
+                job.error = f"internal scheduler error: {exc!r}"
+                job.finished_at = time.time()
+                self._publish_status(job)
+                self._publish_end(job)
+
+    async def _execute(self, job: JobRecord) -> None:
+        """Run one job to a terminal state, retrying revoked attempts."""
+        context = make_context()
+        while True:
+            job.attempts += 1
+            job.state = RUNNING
+            job.started_at = time.time()
+            self._publish_status(job)
+
+            progress = context.Queue()
+            process = context.Process(
+                target=run_job_worker,
+                args=(
+                    progress,
+                    job.nf_spec,
+                    job.config,
+                    job.num_packets,
+                    self.heartbeat_interval,
+                ),
+                daemon=True,
+            )
+            process.start()
+            lease = WorkerLease(
+                process,
+                job_timeout=self.job_timeout,
+                lease_timeout=self.lease_timeout,
+            )
+            self._leases[job.job_id] = lease
+            try:
+                outcome = await self._drain(job, progress, lease)
+            finally:
+                lease.revoke()
+                self._leases.pop(job.job_id, None)
+                progress.close()
+
+            if outcome == "done":
+                return
+            if outcome == "cancelled":
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                self._publish_status(job)
+                self._publish_end(job)
+                return
+            # Revoked ("timeout"/"lease") or crashed ("error"): bounded retry.
+            if job.attempts >= job.max_attempts:
+                job.state = FAILED
+                job.finished_at = time.time()
+                self._publish_status(job)
+                self._publish_end(job)
+                return
+            self._publish_status(job)  # announce the retry
+
+    def _poll_event(self, progress):
+        """Blocking poll (runs in the executor): one event or the sentinel."""
+        import queue as queue_module
+
+        try:
+            return progress.get(True, self.poll_interval)
+        except queue_module.Empty:
+            return _NO_EVENT
+
+    async def _drain(self, job: JobRecord, progress, lease: WorkerLease) -> str:
+        """Pump worker events until a terminal outcome for this attempt."""
+        loop = asyncio.get_running_loop()
+        while True:
+            if job.cancel_requested:
+                return "cancelled"
+            reason = lease.overdue()
+            if reason is not None:
+                job.error = (
+                    f"attempt {job.attempts} revoked ({reason}): "
+                    f"ran {lease.elapsed():.1f}s"
+                )
+                return reason
+
+            event = await loop.run_in_executor(None, self._poll_event, progress)
+            if event is _NO_EVENT:
+                if not lease.alive():
+                    # Exited without a terminal event: crashed hard (OOM,
+                    # signal).  One more poll already drained the queue.
+                    job.error = (
+                        f"attempt {job.attempts}: worker exited without a result "
+                        f"(exitcode {lease.process.exitcode})"
+                    )
+                    return "error"
+                continue
+
+            lease.touch()
+            kind, payload = event
+            if kind == "heartbeat":
+                continue
+            if kind == "round":
+                job.rounds.append(payload)
+                self._publish(
+                    job.job_id,
+                    {"event": "round", "job_id": job.job_id, "round": payload},
+                )
+                continue
+            if kind == "error":
+                job.error = f"attempt {job.attempts} raised:\n{payload}"
+                return "error"
+            if kind == "done":
+                self._finish(job, payload)
+                return "done"
+
+    def _finish(self, job: JobRecord, result) -> None:
+        """Persist a successful result and settle the job."""
+        meta = self.store.put(
+            job.cache_key,
+            result,
+            perf=perf_record(result, label=f"service:{job.job_id}"),
+        )
+        job.state = DONE
+        job.result_summary = result_summary(result)
+        job.perf = meta["perf"]
+        job.finished_at = time.time()
+        self._publish_status(job)
+        self._publish_end(job)

@@ -1,0 +1,211 @@
+"""Content-addressed persistence of CASTAN results (the service's cache).
+
+An analysis is a pure function of ``(NF, CastanConfig, num_packets)``: the
+engine is deterministic, parallel schedules are worker-count-invariant
+(PR 3) and every exec tier is byte-identical (PR 5/6).  That makes results
+*content-addressable*: the store keys each :class:`~repro.core.castan.CastanResult`
+by a SHA-256 over :meth:`CastanConfig.content_hash()
+<repro.core.config.CastanConfig.content_hash>`, the
+:meth:`NetworkFunction.fingerprint()
+<repro.nf.base.NetworkFunction.fingerprint>` of the NF it analyzed, and the
+resolved packet count — so resubmitting an unchanged job is a cache hit
+that costs one directory probe, and *any* change to the NF's code, its
+metadata or any config knob produces a different address.
+
+On disk, each entry is a directory named by its key::
+
+    <root>/<key[:2]>/<key>/result.pkl   # the pickled CastanResult
+    <root>/<key[:2]>/<key>/meta.json    # summary + BENCH_symbex-style perf record
+
+``meta.json`` carries the per-job perf record (states/sec, wall seconds,
+rounds) in the same shape as a ``BENCH_symbex.json`` trajectory entry, so a
+served cache hit returns the measured performance of the original run for
+free instead of re-measuring in CI.
+
+Identity is compared through :func:`canonical_result_digest`, which hashes
+every deterministic field of a result and deliberately excludes wall-clock
+(``analysis_seconds``) and scheduling provenance (``parallel_mode`` /
+``workers``) — the fields the PR 3 identity guarantee says may differ while
+the analysis is "the same".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.castan import CastanResult
+from repro.core.config import CastanConfig
+from repro.core.workload import workload_digest
+from repro.nf.base import NetworkFunction
+
+#: Version tag of the result key derivation *and* the stored layout.  Bump
+#: on any change to either: old entries then simply miss instead of being
+#: deserialised wrongly.
+STORE_VERSION = "castan-result-v1"
+
+
+def result_key(config: CastanConfig, nf_fingerprint: str, num_packets: int | None) -> str:
+    """The content address of one analysis."""
+    payload = f"{STORE_VERSION}:{config.content_hash()}:{nf_fingerprint}:{num_packets}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def canonical_result_digest(result: CastanResult) -> str:
+    """SHA-256 over every deterministic field of a result.
+
+    Two runs of the same ``(NF, config, num_packets)`` must produce equal
+    digests (the cache-hit identity test in ``tests/test_service.py`` holds
+    the store to exactly that); timing and worker provenance are excluded
+    because they legitimately differ between byte-identical analyses.
+    """
+    havoc = result.havoc_outcome
+    payload = {
+        "nf_name": result.nf_name,
+        "packets": [
+            [p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.protocol]
+            for p in result.packets
+        ],
+        "workload_digest": workload_digest(result.packets),
+        "metrics": asdict(result.metrics),
+        "states_explored": result.states_explored,
+        "completed_paths": result.completed_paths,
+        "forks": result.forks,
+        "best_state_cost": result.best_state_cost,
+        "solver_status": result.solver_status,
+        "contention_sets_used": result.contention_sets_used,
+        "search_mode": result.search_mode,
+        "search_rounds": result.search_rounds,
+        "havocs_reconciled": len(havoc.reconciled) if havoc else 0,
+        "notes": result.notes,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def result_summary(result: CastanResult) -> dict:
+    """JSON-safe summary of a result (what the job endpoints return)."""
+    return {
+        "nf": result.nf_name,
+        "summary": result.summary(),
+        "packets": [
+            [p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.protocol]
+            for p in result.packets
+        ],
+        "flows": result.unique_flows,
+        "best_state_cost": result.best_state_cost,
+        "states_explored": result.states_explored,
+        "search_mode": result.search_mode,
+        "search_rounds": result.search_rounds,
+        "solver_status": result.solver_status,
+        "workload_digest": workload_digest(result.packets),
+        "result_digest": canonical_result_digest(result),
+    }
+
+
+def perf_record(result: CastanResult, label: str = "service") -> dict:
+    """A ``BENCH_symbex.json``-trajectory-style perf record for one job."""
+    wall = result.analysis_seconds
+    return {
+        "label": label,
+        "nf": result.nf_name,
+        "states_explored": result.states_explored,
+        "wall_seconds": round(wall, 6),
+        "states_per_sec": round(result.states_explored / wall, 3) if wall > 0 else None,
+        "best_state_cost": result.best_state_cost,
+        "search_rounds": result.search_rounds,
+    }
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed store of analysis results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing -----------------------------------------------------------
+
+    def key_for(
+        self, nf: NetworkFunction, config: CastanConfig, num_packets: int | None = None
+    ) -> str:
+        """Content address of analysing ``nf`` under ``config``.
+
+        ``num_packets`` is resolved the same way :meth:`Castan.analyze`
+        resolves it, so an explicit count equal to the NF default addresses
+        the same entry as the default.
+        """
+        resolved = (
+            num_packets
+            if num_packets is not None
+            else config.packets_for(nf.castan_packet_count)
+        )
+        return result_key(config, nf.fingerprint(), resolved)
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    # -- access ---------------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        entry = self._entry_dir(key)
+        return (entry / "result.pkl").exists() and (entry / "meta.json").exists()
+
+    def get(self, key: str) -> tuple[CastanResult, dict] | None:
+        """Load ``(result, meta)`` for ``key``, or ``None`` when absent."""
+        if not self.has(key):
+            return None
+        entry = self._entry_dir(key)
+        result = pickle.loads((entry / "result.pkl").read_bytes())
+        meta = json.loads((entry / "meta.json").read_text())
+        return result, meta
+
+    def get_meta(self, key: str) -> dict | None:
+        if not self.has(key):
+            return None
+        return json.loads((self._entry_dir(key) / "meta.json").read_text())
+
+    def put(self, key: str, result: CastanResult, perf: dict | None = None) -> dict:
+        """Persist a result under ``key``; returns the written metadata.
+
+        Writes are atomic (tempfile + rename within the entry's parent), so
+        a concurrently reading server never observes a half-written entry,
+        and a crash mid-write leaves no entry at all.  Re-putting an
+        existing key is allowed and idempotent by construction: the content
+        address pins the inputs, and deterministic analysis pins the output.
+        """
+        entry = self._entry_dir(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "store_version": STORE_VERSION,
+            "key": key,
+            "result": result_summary(result),
+            "perf": perf or perf_record(result),
+        }
+        with tempfile.TemporaryDirectory(dir=self.root) as staging:
+            staged = Path(staging) / key
+            staged.mkdir()
+            (staged / "result.pkl").write_bytes(
+                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            (staged / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+            if not entry.exists():  # lost the race: identical content either way
+                staged.replace(entry)
+        return meta
+
+    def keys(self) -> list[str]:
+        """Every stored key (sorted, for stable listings)."""
+        return sorted(
+            path.name
+            for shard in self.root.iterdir()
+            if shard.is_dir() and len(shard.name) == 2
+            for path in shard.iterdir()
+            if path.is_dir()
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())

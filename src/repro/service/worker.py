@@ -1,0 +1,62 @@
+"""The per-job worker process: one analysis, streamed over a queue.
+
+:func:`run_job_worker` is the ``multiprocessing.Process`` target the
+synthesis server spawns per job attempt.  It rebuilds the config from its
+canonical dict, runs the *same* entry point the portfolio uses
+(:func:`repro.parallel.portfolio.analyze_one_nf` — so a served result is
+produced by exactly the code a local run would use), and reports back over
+a single multiprocessing queue as ``(kind, payload)`` tuples:
+
+``("round", dict)``
+    one :class:`~repro.symbex.batch.RoundStats` as a plain dict, emitted
+    live as each search round completes;
+``("heartbeat", float)``
+    proof of life from a daemon thread, every ``heartbeat_interval``
+    seconds — so the server's :class:`~repro.parallel.lease.WorkerLease`
+    can tell a long solver round from a wedged worker;
+``("done", CastanResult)``
+    the terminal success event (the result rides the queue's pickle path);
+``("error", str)``
+    the terminal failure event, carrying the traceback text.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import asdict
+
+
+def run_job_worker(
+    queue,
+    nf_spec: str,
+    config_dict: dict,
+    num_packets: int | None,
+    heartbeat_interval: float = 1.0,
+) -> None:
+    """Process target: analyze ``nf_spec`` and stream progress over ``queue``."""
+    stop = threading.Event()
+
+    def emit_heartbeats() -> None:
+        while not stop.wait(heartbeat_interval):
+            queue.put(("heartbeat", time.time()))
+
+    beater = threading.Thread(target=emit_heartbeats, daemon=True)
+    beater.start()
+    try:
+        from repro.core.config import CastanConfig
+        from repro.parallel.portfolio import analyze_one_nf
+
+        config = CastanConfig.from_dict(config_dict)
+        result = analyze_one_nf(
+            nf_spec,
+            config,
+            num_packets=num_packets,
+            on_round=lambda round_stats: queue.put(("round", asdict(round_stats))),
+        )
+        queue.put(("done", result))
+    except BaseException:
+        queue.put(("error", traceback.format_exc()))
+    finally:
+        stop.set()

@@ -94,6 +94,7 @@ def run_beam_search(
     round_deadline_seconds: float | None = None,
     strike_chunk_states: int = 32,
     max_pending_report: int | None = 512,
+    on_round: Callable[[RoundStats], None] | None = None,
 ) -> SymbexStats:
     """Explore one packet per round, carrying a beam of states across rounds.
 
@@ -104,6 +105,12 @@ def run_beam_search(
     Returns an aggregate :class:`SymbexStats` whose ``rounds`` list holds
     one :class:`RoundStats` per engine call and whose paused/pending states
     are the final frontier.
+
+    ``on_round`` is the live-progress tap (the synthesis service streams
+    it to job subscribers): it is called with each :class:`RoundStats`
+    right after the round completes, *observation only* — it receives the
+    same object that lands in ``stats.rounds`` and must not mutate it or
+    influence the search.
     """
     num_packets = len(engine.packet_args)
     if beam_width <= 0 or num_packets == 0:
@@ -181,6 +188,8 @@ def run_beam_search(
                 wall_time_seconds=stats.wall_time_seconds,
             )
         )
+        if on_round is not None:
+            on_round(total.rounds[-1])
         return stats
 
     # -- priming rounds: one packet each, slim budget, beam carry-over --------

@@ -1,0 +1,136 @@
+"""Tests for ``CastanConfig`` content addressing (repro.core.config).
+
+The service result store keys analyses by ``content_hash()``, so the hash
+must be *stable* (same config → same hash across processes, field orders
+and construction paths) and *complete* (any field change → different
+hash).  A golden hash pins the canonical form itself: if canonicalization
+drifts, this file fails before any stored result can be mis-served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import CONFIG_HASH_VERSION, CastanConfig
+
+#: sha256 of the canonical form of the all-defaults config.  If this test
+#: fails after an intentional change to CastanConfig (new field, changed
+#: default, different canonical form), bump CONFIG_HASH_VERSION and repin —
+#: old stored service results must not be addressable by the new form.
+GOLDEN_DEFAULT_HASH = "ca609a19b66018492a58a4b52834a8809899e923eb7534579203d1e81026babf"
+
+
+def _mutated(value):
+    """A value guaranteed to differ from ``value`` but stay canonicalizable."""
+    if isinstance(value, bool):  # bool first: bool is an int subclass
+        return not value
+    if isinstance(value, (int, float)):
+        # doubling keeps power-of-two geometry fields valid (HierarchyConfig
+        # validates them in __post_init__) and still always differs
+        return value * 2 if value else 1
+    if isinstance(value, str):
+        return value + "-mutated"
+    if value is None:
+        return 7
+    if isinstance(value, dict):
+        return {**value, "mutated": 1}
+    if isinstance(value, (list, tuple)):
+        return type(value)([*value, 1])
+    if dataclasses.is_dataclass(value):
+        first = dataclasses.fields(value)[0]
+        return dataclasses.replace(value, **{first.name: _mutated(getattr(value, first.name))})
+    raise TypeError(f"no mutation rule for {value!r}")
+
+
+def test_golden_default_hash():
+    assert CastanConfig().content_hash() == GOLDEN_DEFAULT_HASH
+
+
+def test_hash_is_deterministic_within_process():
+    assert CastanConfig().content_hash() == CastanConfig().content_hash()
+    custom = dict(max_states=123, search_mode="beam", seed=42)
+    assert CastanConfig(**custom).content_hash() == CastanConfig(**custom).content_hash()
+
+
+def test_hash_is_stable_across_processes():
+    """No dict-ordering / hash-randomization / id() leakage into the hash."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    script = (
+        "from repro.core.config import CastanConfig;"
+        "print(CastanConfig().content_hash());"
+        "print(CastanConfig(max_states=99, search_mode='beam').content_hash())"
+    )
+    lines = []
+    for _ in range(2):
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "random", "PATH": ""},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        lines.append(out.stdout.split())
+    assert lines[0] == lines[1]
+    assert lines[0][0] == GOLDEN_DEFAULT_HASH
+    assert lines[0][1] == CastanConfig(max_states=99, search_mode="beam").content_hash()
+
+
+@pytest.mark.parametrize(
+    "field", [f.name for f in dataclasses.fields(CastanConfig)]
+)
+def test_every_field_changes_the_hash(field):
+    base = CastanConfig()
+    changed = dataclasses.replace(base, **{field: _mutated(getattr(base, field))})
+    assert changed.content_hash() != base.content_hash(), field
+
+
+def test_nested_fields_change_the_hash():
+    """Deep mutations (hierarchy geometry, cycle costs) are not flattened away."""
+    base = CastanConfig()
+    for nested_name in ("hierarchy", "cycle_costs"):
+        nested = getattr(base, nested_name)
+        for sub in dataclasses.fields(nested):
+            mutated = dataclasses.replace(nested, **{sub.name: _mutated(getattr(nested, sub.name))})
+            changed = dataclasses.replace(base, **{nested_name: mutated})
+            assert changed.content_hash() != base.content_hash(), f"{nested_name}.{sub.name}"
+
+
+def test_canonical_dict_round_trips_through_from_dict():
+    config = CastanConfig(max_states=77, search_mode="beam", beam_width=5)
+    rebuilt = CastanConfig.from_dict(config.to_canonical_dict())
+    assert rebuilt == config
+    assert rebuilt.content_hash() == config.content_hash()
+
+
+def test_from_dict_is_key_order_invariant():
+    canonical = CastanConfig(max_states=55).to_canonical_dict()
+    reversed_order = dict(reversed(list(canonical.items())))
+    assert list(reversed_order) != list(canonical)  # the orders really differ
+    a = CastanConfig.from_dict(canonical)
+    b = CastanConfig.from_dict(reversed_order)
+    assert a.content_hash() == b.content_hash()
+
+
+def test_from_dict_rejects_unknown_knobs():
+    with pytest.raises(ValueError, match="max_statez"):
+        CastanConfig.from_dict({"max_statez": 40})
+    # the error names the known fields so a typo is self-correcting
+    with pytest.raises(ValueError, match="max_states"):
+        CastanConfig.from_dict({"max_statez": 40})
+
+
+def test_partial_from_dict_overrides_on_defaults():
+    config = CastanConfig.from_dict({"max_states": 40, "deadline_seconds": None})
+    assert config.max_states == 40
+    assert config.deadline_seconds is None
+    assert config.search_mode == CastanConfig().search_mode
+
+
+def test_version_tag_is_part_of_the_hash():
+    """The golden hash covers the version tag (bumping it must repoint keys)."""
+    assert CONFIG_HASH_VERSION == "castan-config-v1"

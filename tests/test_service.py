@@ -1,0 +1,253 @@
+"""Tests for the synthesis service (repro.service) and worker leases.
+
+Covers the service's contract end to end, at smoke scale:
+
+* the content-addressed :class:`ResultStore` round-trips results and keys
+  them by ``(config content hash, NF fingerprint, packet count)``;
+* a cache hit serves a result whose canonical digest is byte-identical to
+  a fresh in-process run of the same job;
+* the REST API boots, streams per-round progress, rejects bad submissions
+  eagerly, and settles cancellations;
+* :class:`WorkerLease` detects wall-clock overruns and dead heartbeats and
+  can revoke its worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.core.config import CastanConfig
+from repro.nf.registry import get_nf
+from repro.parallel.lease import WorkerLease
+from repro.parallel.pool import make_context
+from repro.parallel.portfolio import analyze_one_nf
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import serve
+from repro.service.server import SynthesisService
+from repro.service.store import ResultStore, canonical_result_digest, result_key
+
+SMOKE_CONFIG = {
+    "max_states": 40,
+    "deadline_seconds": None,
+    "search_mode": "beam",
+}
+SMOKE_PACKETS = 3
+NF = "lpm-patricia"
+
+
+def smoke_config() -> CastanConfig:
+    return CastanConfig.from_dict(SMOKE_CONFIG)
+
+
+# -- result store -------------------------------------------------------------
+
+
+def test_result_key_is_a_function_of_config_nf_and_packets():
+    config = smoke_config()
+    key = result_key(config, "nf-fp", 3)
+    assert key == result_key(config, "nf-fp", 3)
+    assert key != result_key(config, "nf-fp", 4)
+    assert key != result_key(config, "other-fp", 3)
+    other = CastanConfig.from_dict({**SMOKE_CONFIG, "max_states": 41})
+    assert key != result_key(other, "nf-fp", 3)
+
+
+def test_store_round_trip(tmp_path):
+    result = analyze_one_nf(NF, smoke_config(), num_packets=SMOKE_PACKETS)
+    store = ResultStore(tmp_path / "store")
+    key = store.key_for(get_nf(NF), smoke_config(), SMOKE_PACKETS)
+    assert not store.has(key)
+    meta = store.put(key, result)
+    assert store.has(key)
+    assert store.keys() == [key]
+    assert len(store) == 1
+
+    loaded, loaded_meta = store.get(key)
+    assert canonical_result_digest(loaded) == canonical_result_digest(result)
+    assert loaded_meta == meta
+    assert meta["result"]["result_digest"] == canonical_result_digest(result)
+    assert meta["perf"]["states_explored"] == result.states_explored
+    # re-putting the same key is idempotent
+    store.put(key, result)
+    assert len(store) == 1
+
+
+def test_canonical_digest_ignores_timing_but_not_content(tmp_path):
+    result = analyze_one_nf(NF, smoke_config(), num_packets=SMOKE_PACKETS)
+    clone = pickle.loads(pickle.dumps(result))
+    clone.analysis_seconds = result.analysis_seconds + 100.0
+    assert canonical_result_digest(clone) == canonical_result_digest(result)
+    clone.best_state_cost += 1
+    assert canonical_result_digest(clone) != canonical_result_digest(result)
+
+
+# -- live server --------------------------------------------------------------
+
+
+class ServerHandle:
+    def __init__(self, port: int, service: SynthesisService):
+        self.port = port
+        self.service = service
+        self.client = ServiceClient(port=port, timeout=120.0)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """A real server on an ephemeral port, backed by a throwaway store."""
+    store_root = tmp_path_factory.mktemp("service-store")
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    state: dict = {}
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            service = SynthesisService(
+                ResultStore(store_root),
+                max_concurrent_jobs=1,
+                job_timeout=120.0,
+                lease_timeout=60.0,
+            )
+            web = await serve(service, port=0)
+            state["service"] = service
+            state["server"] = web
+            state["port"] = web.sockets[0].getsockname()[1]
+            started.set()
+
+        loop.run_until_complete(boot())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(20), "service did not boot"
+    yield ServerHandle(state["port"], state["service"])
+
+    async def teardown() -> None:
+        state["server"].close()
+        await state["server"].wait_closed()
+        await state["service"].shutdown()
+
+    asyncio.run_coroutine_threadsafe(teardown(), loop).result(timeout=30)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+
+
+def test_health(server):
+    health = server.client.health()
+    assert health["ok"] is True
+
+
+def test_submit_stream_and_cache_hit_identity(server):
+    """The tentpole invariant: served results == fresh runs, hit or miss."""
+    job = server.client.submit(NF, config=SMOKE_CONFIG, num_packets=SMOKE_PACKETS)
+    assert job["cached"] is False
+
+    events = list(server.client.stream(job["job_id"]))
+    kinds = [event["event"] for event in events]
+    assert kinds.count("round") >= SMOKE_PACKETS  # per-round progress arrived
+    assert kinds[-1] == "end"
+    final = events[-1]["job"]
+    assert final["state"] == "done"
+    assert final["attempts"] == 1
+
+    # an unchanged resubmission is served from the store, born terminal
+    again = server.client.submit(NF, config=SMOKE_CONFIG, num_packets=SMOKE_PACKETS)
+    assert again["cached"] is True
+    assert again["state"] == "done"
+    assert again["cache_key"] == final["cache_key"]
+    assert again["result"]["result_digest"] == final["result"]["result_digest"]
+
+    # both served results are canonically identical to a fresh local run
+    fresh = analyze_one_nf(NF, smoke_config(), num_packets=SMOKE_PACKETS)
+    served = server.client.result(again["job_id"])
+    assert canonical_result_digest(served) == canonical_result_digest(fresh)
+    assert final["result"]["result_digest"] == canonical_result_digest(fresh)
+
+    # the stream of a finished job replays its full history and terminates
+    replay = [event["event"] for event in server.client.stream(job["job_id"])]
+    assert replay[-1] == "end"
+    assert replay.count("round") == kinds.count("round")
+
+
+def test_submission_validation_is_eager(server):
+    with pytest.raises(ServiceError) as err:
+        server.client.submit("no-such-nf")
+    assert err.value.status == 400
+
+    with pytest.raises(ServiceError) as err:
+        server.client.submit(NF, config={"max_statez": 40})
+    assert err.value.status == 400
+    assert "max_statez" in err.value.message
+
+    with pytest.raises(ServiceError) as err:
+        server.client.job("job-9999")
+    assert err.value.status == 404
+
+
+def test_cancel_settles_a_queued_job(server):
+    """With one execution slot, the second of two jobs cancels while queued."""
+    first = server.client.submit(
+        NF, config={**SMOKE_CONFIG, "max_states": 200}, num_packets=SMOKE_PACKETS
+    )
+    queued = server.client.submit(
+        "nat-hash-table", config={**SMOKE_CONFIG, "max_states": 200}, num_packets=2
+    )
+    cancelled = server.client.cancel(queued["job_id"])
+    assert cancelled["state"] in ("cancelled", "queued")  # queued settles on pickup
+    final = server.client.wait(queued["job_id"], timeout=60)
+    assert final["state"] == "cancelled"
+    # the first job is unaffected
+    assert server.client.wait(first["job_id"], timeout=120)["state"] == "done"
+
+
+# -- worker leases ------------------------------------------------------------
+
+
+def _sleep_forever():
+    time.sleep(3600)
+
+
+def _make_sleeper():
+    context = make_context()
+    process = context.Process(target=_sleep_forever, daemon=True)
+    process.start()
+    return process
+
+
+def test_lease_detects_job_timeout():
+    process = _make_sleeper()
+    try:
+        lease = WorkerLease(process, job_timeout=0.05, lease_timeout=None)
+        time.sleep(0.1)
+        assert lease.overdue() == "timeout"
+    finally:
+        process.kill()
+        process.join()
+
+
+def test_lease_detects_missed_heartbeats_and_touch_resets():
+    process = _make_sleeper()
+    try:
+        lease = WorkerLease(process, job_timeout=None, lease_timeout=0.2)
+        assert lease.overdue() is None
+        time.sleep(0.3)
+        assert lease.overdue() == "lease"
+        lease.touch()  # a heartbeat arrived: the lease renews
+        assert lease.overdue() is None
+    finally:
+        process.kill()
+        process.join()
+
+
+def test_lease_revoke_kills_the_worker():
+    process = _make_sleeper()
+    lease = WorkerLease(process, job_timeout=None, lease_timeout=None)
+    assert lease.alive()
+    lease.revoke(grace_seconds=0.5)
+    assert not lease.alive()

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency check (the ``docs-check`` CI step).
 
-Three classes of rot are caught:
+Four classes of rot are caught:
 
 1. **Broken links/references** — every relative markdown link target and
    every backtick reference to a repo path (``src/...``, ``docs/...``,
@@ -12,6 +12,10 @@ Three classes of rot are caught:
    docs satellite of PR 4 had to clean up).
 3. **Gallery completeness** — every registered NF name must appear in the
    README's gallery table.
+4. **Knob staleness** — every ``CastanConfig`` field and every
+   ``REPRO_*`` environment variable read anywhere under ``src/`` must
+   appear (backticked) in the README's knob tables, so adding a knob
+   without documenting it fails CI.
 
 Run it from the repo root::
 
@@ -88,6 +92,39 @@ def check_gallery(readme: str, names: tuple[str, ...]) -> list[str]:
     ]
 
 
+#: ``REPRO_*`` environment variables referenced anywhere in the source.
+REPRO_ENV_VAR = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*\b")
+
+
+def source_env_vars() -> set[str]:
+    """Every REPRO_* environment variable named under ``src/``."""
+    found: set[str] = set()
+    for path in sorted((REPO / "src").rglob("*.py")):
+        found.update(REPRO_ENV_VAR.findall(path.read_text()))
+    return found
+
+
+def check_knobs(readme: str) -> list[str]:
+    """Every config field and REPRO_* env var must be documented (backticked)."""
+    import dataclasses
+
+    from repro.core.config import CastanConfig
+
+    problems = []
+    for field in dataclasses.fields(CastanConfig):
+        if f"`{field.name}`" not in readme:
+            problems.append(
+                f"README.md: CastanConfig field {field.name!r} missing from the knob table"
+            )
+    for var in sorted(source_env_vars()):
+        if f"`{var}`" not in readme:
+            problems.append(
+                f"README.md: environment variable {var!r} (read under src/) "
+                "missing from the knob table"
+            )
+    return problems
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     from repro.nf.registry import EVALUATION_NF_NAMES, NF_NAMES
@@ -97,14 +134,19 @@ def main() -> int:
         text = path.read_text()
         problems += check_links(path, text)
         problems += check_nf_counts(path, text, len(EVALUATION_NF_NAMES))
-    problems += check_gallery((REPO / "README.md").read_text(), NF_NAMES)
+    readme = (REPO / "README.md").read_text()
+    problems += check_gallery(readme, NF_NAMES)
+    problems += check_knobs(readme)
 
     if problems:
         print("docs-check found problems:", file=sys.stderr)
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    print(f"docs-check ok: {len(doc_files())} files, {len(NF_NAMES)} NFs in gallery")
+    print(
+        f"docs-check ok: {len(doc_files())} files, {len(NF_NAMES)} NFs in gallery, "
+        f"{len(source_env_vars())} env knobs documented"
+    )
     return 0
 
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""``repro-submit``: submit synthesis jobs to a running ``repro.service``.
+
+Submit one NF (or an ad-hoc ``chain:`` spec), optionally overriding config
+knobs, and optionally follow the job's progress stream to completion::
+
+    PYTHONPATH=src python tools/repro_submit.py lpm-patricia --follow
+    PYTHONPATH=src python tools/repro_submit.py chain-gateway \\
+        --set max_states=120 --set search_mode=beam --packets 4 --follow
+    PYTHONPATH=src python tools/repro_submit.py lpm-patricia nat-hash-table
+
+``--set knob=value`` takes any ``CastanConfig`` field; values parse as JSON
+first (numbers, booleans, null) and fall back to strings, so
+``--set search_mode=beam`` and ``--set deadline_seconds=null`` both work.
+A second submission of an unchanged job prints ``cache hit`` and returns
+the stored result without running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+
+def parse_overrides(pairs: list[str]) -> dict:
+    overrides: dict = {}
+    for pair in pairs:
+        knob, separator, raw = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"--set needs knob=value, got {pair!r}")
+        try:
+            overrides[knob] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[knob] = raw
+    return overrides
+
+
+def describe(job: dict) -> str:
+    tag = " (cache hit)" if job.get("cached") else ""
+    return f"{job['job_id']}: {job['nf']} -> {job['state']}{tag}"
+
+
+def follow(client: ServiceClient, job_id: str) -> dict:
+    """Print the job's event stream; returns the final job dict."""
+    final: dict = {}
+    for event in client.stream(job_id):
+        kind = event.get("event")
+        if kind == "status":
+            print(f"  [{job_id}] {event['state']} (attempt {event['attempts']})")
+        elif kind == "round":
+            r = event["round"]
+            print(
+                f"  [{job_id}] round pkt={r['packet_index']} phase={r['phase']} "
+                f"explored={r['states_explored']} best={r['best_cost']} "
+                f"({r['wall_time_seconds']:.2f}s)"
+            )
+        elif kind == "end":
+            final = event["job"]
+    return final
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("nfs", nargs="+", help="NF names or chain: specs to analyze")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321)
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KNOB=VALUE",
+        help="CastanConfig override (repeatable)",
+    )
+    parser.add_argument("--packets", type=int, default=None, help="packets to synthesize")
+    parser.add_argument(
+        "--follow", action="store_true", help="stream each job's rounds until it finishes"
+    )
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(host=args.host, port=args.port)
+    config = parse_overrides(args.overrides)
+    try:
+        jobs = client.submit_many(args.nfs, config=config, num_packets=args.packets)
+    except ServiceError as error:
+        print(f"submission rejected: {error.message}", file=sys.stderr)
+        return 1
+    except ConnectionError as error:
+        print(
+            f"cannot reach repro.service at {args.host}:{args.port} ({error}); "
+            "start one with: python -m repro.service",
+            file=sys.stderr,
+        )
+        return 1
+
+    for job in jobs:
+        print(describe(job))
+    if not args.follow:
+        return 0
+
+    failed = 0
+    for job in jobs:
+        if job["state"] == "done":  # cache hits are already terminal
+            continue
+        final = follow(client, job["job_id"])
+        print(describe(final))
+        if final.get("result"):
+            print(f"  {final['result']['summary']}")
+        if final.get("state") != "done":
+            failed += 1
+            if final.get("error"):
+                print(f"  error: {final['error']}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the synthesis service (the CI ``service-smoke`` job).
+
+Boots ``python -m repro.service`` on an ephemeral port with a throwaway
+store, then drives the real REST API through :class:`ServiceClient`:
+
+1. submit one NF at smoke scale and follow its stream — assert per-round
+   ``RoundStats`` events arrive before the terminal ``end``;
+2. resubmit the identical job — assert it is served as a cache hit from the
+   content-addressed store, with a byte-identical canonical result digest;
+3. fetch the stored perf record and print a one-line verdict.
+
+Exits non-zero on any failed assertion.  Run it locally with::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+NF = "lpm-patricia"
+CONFIG = {"max_states": 40, "deadline_seconds": None, "search_mode": "beam"}
+NUM_PACKETS = 3
+BOOT_TIMEOUT = 30.0
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"service-smoke FAILED: {message}")
+    print(f"  ok: {message}")
+
+
+def boot_server(store: str) -> tuple[subprocess.Popen, int]:
+    """Start ``python -m repro.service --port 0`` and parse the bound port."""
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"), PYTHONUNBUFFERED="1")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0", "--store", store],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise SystemExit(f"service-smoke FAILED: server exited rc={process.returncode}")
+        if "listening on http://" in line:
+            url = line.split("listening on ", 1)[1].split()[0]
+            port = int(url.rsplit(":", 1)[1])
+            return process, port
+    process.kill()
+    raise SystemExit("service-smoke FAILED: server did not report a port in time")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-store-") as store:
+        process, port = boot_server(store)
+        try:
+            client = ServiceClient(port=port, timeout=120.0)
+            health = client.health()
+            check(health["ok"], f"server healthy on port {port}")
+
+            job = client.submit(NF, config=CONFIG, num_packets=NUM_PACKETS)
+            check(not job["cached"], f"first submission of {NF} is not a cache hit")
+
+            rounds = 0
+            final: dict = {}
+            for event in client.stream(job["job_id"]):
+                if event["event"] == "round":
+                    rounds += 1
+                elif event["event"] == "end":
+                    final = event["job"]
+            check(rounds >= NUM_PACKETS, f"streamed {rounds} RoundStats events")
+            check(final.get("state") == "done", "job finished in state 'done'")
+            digest = final["result"]["result_digest"]
+
+            again = client.submit(NF, config=CONFIG, num_packets=NUM_PACKETS)
+            check(bool(again["cached"]), "second submission is a cache hit")
+            check(again["state"] == "done", "cache hit is born terminal")
+            cached_digest = again["result"]["result_digest"]
+            check(cached_digest == digest, "cached result digest matches the fresh run")
+
+            meta = client.result_meta(again["job_id"])
+            perf = meta["perf"]
+            check(perf["states_per_sec"] > 0, "stored perf record has a throughput figure")
+            check(len(client.store_keys()) == 1, "store holds exactly one entry")
+
+            print(
+                f"service-smoke PASSED: {NF} x{NUM_PACKETS} packets, {rounds} rounds, "
+                f"{perf['states_per_sec']:.0f} states/s, digest {digest[:16]}…"
+            )
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
