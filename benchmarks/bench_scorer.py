@@ -1,0 +1,327 @@
+"""Stream-scorer throughput benchmark (trajectory-keeping).
+
+Distills adversarial signatures from a smoke-scale ``nat-hash-table``
+analysis, then measures how fast the two scoring tiers turn synthetic
+in-class packets into verdict masks:
+
+* **vector** — :func:`repro.scoring.scorer.score_batch_columns` over
+  pre-materialized columnar batches (the line-rate tier; the acceptance
+  floor of 1M packets/sec applies here, machine-calibration-normalized);
+* **scalar** — :func:`repro.scoring.scorer.score_batch_fields` over a
+  subsample (the reference tier; measured so a correctness-path regression
+  is visible too).
+
+Batch generation is *outside* the timed region — the benchmark measures
+scoring, not ``random_flow_columns``.  Every run also asserts the two
+tiers byte-agree on the first batch, so the trajectory can never record a
+throughput number for a scorer that diverged from its reference.
+
+``BENCH_scorer.json`` holds a trajectory (one entry per PR, appended)::
+
+    PYTHONPATH=src python benchmarks/bench_scorer.py \
+        --out BENCH_scorer.json --label pr9-scorer
+
+Gate a change against the committed baseline (the ``scorer-smoke`` CI
+step; ratio vs the last entry plus an absolute packets/sec floor, both
+normalized by the machine-calibration score)::
+
+    PYTHONPATH=src python benchmarks/bench_scorer.py \
+        --check BENCH_scorer.json --min-ratio 0.6 --min-pps 1000000
+
+or run the smoke-sized pytest entry point::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scorer.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_symbex_perf import calibrate_machine  # noqa: E402
+from repro.core.castan import Castan  # noqa: E402
+from repro.core.config import CastanConfig  # noqa: E402
+from repro.nf.registry import get_nf  # noqa: E402
+from repro.scoring import distill_signatures  # noqa: E402
+from repro.scoring.scorer import (  # noqa: E402
+    score_batch_columns,
+    score_batch_fields,
+    verdict_bytes,
+)
+from repro.scoring.stream import columns_to_fields, random_flow_columns  # noqa: E402
+from repro.symbex.expr import HAVE_NUMPY  # noqa: E402
+
+#: The NF whose signatures the benchmark scores against: the hash-table NAT
+#: distills both a hash-collision and a cache-set signature at smoke scale,
+#: so the timed predicates include the unrolled 16-bit flow hash — the most
+#: expensive predicate the distiller emits.
+BENCH_NF = "nat-hash-table"
+
+_SCALE_STATES = {"smoke": 40, "quick": 120, "full": 400}
+
+
+def _max_states() -> int:
+    scale = os.environ.get("REPRO_EVAL_SCALE", "smoke").lower()
+    return _SCALE_STATES.get(scale, _SCALE_STATES["smoke"])
+
+
+def prepare_signatures(max_states: int | None = None):
+    """Analyze the bench NF and distill its signatures (untimed setup)."""
+    nf = get_nf(BENCH_NF)
+    config = CastanConfig(
+        max_states=max_states if max_states is not None else _max_states(),
+        deadline_seconds=None,
+        search_mode="beam",
+    )
+    result = Castan(config).analyze(nf, num_packets=3)
+    signature_set = distill_signatures(nf, result, config=config)
+    if not signature_set.signatures:
+        raise RuntimeError(
+            f"distillation produced no signatures for {BENCH_NF} "
+            f"(max_states={config.max_states}); nothing to benchmark"
+        )
+    return nf, signature_set
+
+
+def bench_scorer(
+    signatures,
+    nf,
+    packets: int = 1_000_000,
+    batch_size: int = 8192,
+    scalar_packets: int = 16_384,
+) -> dict:
+    """Time both tiers over a pre-materialized synthetic stream."""
+    if not HAVE_NUMPY:
+        raise RuntimeError("the vector tier needs numpy (the [vector] extra)")
+    import random
+
+    rng = random.Random(0)
+    batches = []
+    remaining = packets
+    while remaining > 0:
+        size = min(batch_size, remaining)
+        batches.append(random_flow_columns(nf, size, rng))
+        remaining -= size
+
+    # Warm the per-signature evaluator caches, then verify the tiers agree
+    # on the first batch before timing anything.
+    first = batches[0]
+    vector_masks = score_batch_columns(signatures.signatures, first)
+    scalar_masks = score_batch_fields(signatures.signatures, columns_to_fields(first))
+    if verdict_bytes(vector_masks) != verdict_bytes(scalar_masks):
+        raise RuntimeError("vector and scalar verdicts diverged; refusing to time")
+
+    start = time.perf_counter()
+    matched = 0
+    for batch in batches:
+        masks = score_batch_columns(signatures.signatures, batch)
+        matched += int((masks != 0).sum())
+    vector_wall = time.perf_counter() - start
+
+    scalar_sample: list[dict] = []
+    for batch in batches:
+        scalar_sample.extend(columns_to_fields(batch))
+        if len(scalar_sample) >= scalar_packets:
+            scalar_sample = scalar_sample[:scalar_packets]
+            break
+    start = time.perf_counter()
+    score_batch_fields(signatures.signatures, scalar_sample)
+    scalar_wall = time.perf_counter() - start
+
+    return {
+        "signatures": len(signatures.signatures),
+        "signature_labels": [s.label for s in signatures.signatures],
+        "vector": {
+            "packets": packets,
+            "batch_size": batch_size,
+            "wall_seconds": round(vector_wall, 4),
+            "packets_per_second": round(packets / vector_wall, 1) if vector_wall else 0.0,
+            "matched": matched,
+        },
+        "scalar": {
+            "packets": len(scalar_sample),
+            "wall_seconds": round(scalar_wall, 4),
+            "packets_per_second": (
+                round(len(scalar_sample) / scalar_wall, 1) if scalar_wall else 0.0
+            ),
+        },
+        "verdicts_byte_identical": True,
+    }
+
+
+def run_benchmark(
+    packets: int = 1_000_000,
+    batch_size: int = 8192,
+    max_states: int | None = None,
+    label: str | None = None,
+) -> dict:
+    nf, signature_set = prepare_signatures(max_states)
+    record = bench_scorer(signature_set, nf, packets=packets, batch_size=batch_size)
+    entry = {
+        "label": label or "current",
+        "nf": BENCH_NF,
+        "scale": os.environ.get("REPRO_EVAL_SCALE", "smoke").lower(),
+        "machine_calibration": calibrate_machine(),
+        **record,
+    }
+    print(
+        f"{BENCH_NF}: {record['signatures']} signature(s); vector "
+        f"{record['vector']['packets_per_second']:,.0f} pkts/s "
+        f"({record['vector']['packets']} packets, "
+        f"{record['vector']['wall_seconds']:.2f}s, "
+        f"{record['vector']['matched']} matched), scalar "
+        f"{record['scalar']['packets_per_second']:,.0f} pkts/s"
+    )
+    return entry
+
+
+# -- trajectory file handling --------------------------------------------------
+
+
+def load_trajectory(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def append_entry(path: Path, entry: dict) -> dict:
+    if path.exists():
+        data = load_trajectory(path)
+    else:
+        data = {"benchmark": "bench_scorer", "trajectory": []}
+    data["trajectory"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def check_against_baseline(
+    path: Path, entry: dict, min_ratio: float, min_pps: float
+) -> int:
+    """Gate ``entry`` on the committed trajectory.
+
+    Two conditions, both machine-calibration-normalized so the gate
+    measures the code rather than the runner hardware:
+
+    * **ratio** — vector packets/sec must stay within ``min_ratio`` of the
+      last committed entry;
+    * **floor** — vector packets/sec must clear ``min_pps`` outright
+      (scaled to the baseline machine when both calibrations are present).
+    """
+    data = load_trajectory(path)
+    if not data.get("trajectory"):
+        print(f"{path} has no trajectory entries; nothing to compare against")
+        return 1
+    baseline = data["trajectory"][-1]
+    base_pps = baseline["vector"]["packets_per_second"]
+    current_pps = entry["vector"]["packets_per_second"]
+    base_cal = baseline.get("machine_calibration")
+    current_cal = entry.get("machine_calibration")
+    scale = 1.0
+    note = "raw — missing machine calibration"
+    if base_cal and current_cal:
+        scale = base_cal / current_cal
+        note = (
+            f"normalised by machine calibration {current_cal:.0f} vs "
+            f"baseline {base_cal:.0f} it/s"
+        )
+    normalized_pps = current_pps * scale
+    ratio = normalized_pps / base_pps if base_pps else float("inf")
+    print(
+        f"vector tier: baseline {base_pps:,.0f} pkts/s "
+        f"({baseline.get('label')}), current {current_pps:,.0f} pkts/s "
+        f"-> {normalized_pps:,.0f} normalized ({note}); "
+        f"ratio {ratio:.2f} (floor {min_ratio:.2f}), "
+        f"absolute floor {min_pps:,.0f} pkts/s"
+    )
+    status = 0
+    if ratio < min_ratio:
+        print(
+            f"PERF REGRESSION: scorer throughput dropped more than "
+            f"{(1 - min_ratio) * 100:.0f}% below the committed baseline"
+        )
+        status = 1
+    if normalized_pps < min_pps:
+        print(
+            f"PERF FLOOR MISS: {normalized_pps:,.0f} normalized pkts/s is "
+            f"below the {min_pps:,.0f} line-rate floor"
+        )
+        status = 1
+    if status == 0:
+        print("scorer perf gate passed")
+    return status
+
+
+# -- pytest entry point (smoke-sized sanity run) -------------------------------
+
+
+def test_scorer_bench_smoke():
+    """The bench pipeline runs end to end and the tiers byte-agree."""
+    import pytest
+
+    if not HAVE_NUMPY:
+        pytest.skip("vector tier needs numpy")
+    nf, signature_set = prepare_signatures(max_states=40)
+    record = bench_scorer(signature_set, nf, packets=50_000, batch_size=8192)
+    assert record["signatures"] > 0
+    assert record["vector"]["packets_per_second"] > 0
+    assert record["verdicts_byte_identical"]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--packets", type=int, default=1_000_000,
+        help="synthetic packets to score through the vector tier",
+    )
+    parser.add_argument("--batch", type=int, default=8192, help="columnar batch size")
+    parser.add_argument(
+        "--max-states", type=int, default=None, help="analysis exploration budget"
+    )
+    parser.add_argument("--label", default=None, help="trajectory entry label")
+    parser.add_argument(
+        "--out", default=None, help="append this run to the trajectory file"
+    )
+    parser.add_argument(
+        "--check", default=None,
+        help="gate this run against the trajectory file's last entry",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.6,
+        help="minimum current/baseline packets/sec ratio (default 0.6)",
+    )
+    parser.add_argument(
+        "--min-pps", type=float, default=1_000_000,
+        help="absolute vector-tier packets/sec floor (default 1M)",
+    )
+    args = parser.parse_args(argv)
+
+    entry = run_benchmark(
+        packets=args.packets,
+        batch_size=args.batch,
+        max_states=args.max_states,
+        label=args.label,
+    )
+    status = 0
+    if args.check:
+        status = check_against_baseline(
+            Path(args.check), entry, args.min_ratio, args.min_pps
+        )
+    if args.out:
+        append_entry(Path(args.out), entry)
+        print(f"appended trajectory entry {entry['label']!r} to {args.out}")
+    if not args.check and not args.out:
+        json.dump(entry, sys.stdout, indent=2)
+        print()
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,16 @@ LINKTYPE_ETHERNET = 1
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
 _RECORD_HEADER = struct.Struct("<IIII")
 
+#: Link types this reader knows how to hand to the packet parser.  Anything
+#: else (LINKTYPE_RAW, 802.11, ...) would silently misparse every frame, so
+#: an unknown link type is a format error at open time, not a per-record one.
+SUPPORTED_LINKTYPES = frozenset({LINKTYPE_ETHERNET})
+
+#: Upper bound on a single record's captured length.  Real captures top out
+#: at the 64 KiB snaplen this writer uses; a larger claim is a corrupt or
+#: hostile length field and must not drive a giant allocation.
+MAX_RECORD_BYTES = 1 << 18
+
 
 class PcapFormatError(ValueError):
     """Raised when a file is not a well-formed classic pcap capture."""
@@ -124,6 +134,11 @@ class PcapReader:
         fields = struct.unpack(self._endian + "IHHiIII", header)
         self.snaplen = fields[5]
         self.linktype = fields[6]
+        if self.linktype not in SUPPORTED_LINKTYPES:
+            raise PcapFormatError(
+                f"unsupported pcap link type {self.linktype} "
+                f"(supported: {sorted(SUPPORTED_LINKTYPES)})"
+            )
 
     def __iter__(self) -> Iterator[PcapRecord]:
         record = struct.Struct(self._endian + "IIII")
@@ -132,11 +147,20 @@ class PcapReader:
             if not header:
                 return
             if len(header) < record.size:
-                raise PcapFormatError("truncated pcap record header")
+                raise PcapFormatError(
+                    f"truncated pcap record header ({len(header)} of {record.size} bytes)"
+                )
             seconds, microseconds, captured_len, _original_len = record.unpack(header)
+            if captured_len > MAX_RECORD_BYTES:
+                raise PcapFormatError(
+                    f"implausible pcap record length {captured_len} "
+                    f"(limit {MAX_RECORD_BYTES})"
+                )
             data = self._stream.read(captured_len)
             if len(data) < captured_len:
-                raise PcapFormatError("truncated pcap record data")
+                raise PcapFormatError(
+                    f"truncated pcap record data ({len(data)} of {captured_len} bytes)"
+                )
             yield PcapRecord(timestamp=seconds + microseconds / 1e6, data=data)
 
     def close(self) -> None:

@@ -92,6 +92,25 @@ class ConcreteInterpreter:
         }
         self.hierarchy.reset_caches()
 
+    def snapshot_state(self) -> object:
+        """Capture NF memory + cache state for :meth:`restore_state`.
+
+        Used by the scoring replay layer to prime an NF with an adversarial
+        workload once and then measure many independent probe packets from
+        the identical primed state.
+        """
+        import copy
+
+        return (copy.deepcopy(self._memory), copy.deepcopy(self.hierarchy))
+
+    def restore_state(self, snapshot: object) -> None:
+        """Restore a :meth:`snapshot_state` capture (reusable any number of times)."""
+        import copy
+
+        memory, hierarchy = snapshot
+        self._memory = copy.deepcopy(memory)
+        self.hierarchy = copy.deepcopy(hierarchy)
+
     def read_region(self, region_name: str, index: int) -> int:
         """Inspect NF state (tests and examples)."""
         region = self.module.get_region(region_name)

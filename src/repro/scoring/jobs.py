@@ -1,0 +1,167 @@
+"""The score job: analyze (or cache-hit) → distill → stream windows.
+
+One entry point shared by the service's ``POST /score`` executor and the
+``tools/repro_score.py`` CLI, so both wire the same pipeline:
+
+1. **result** — reuse the content-addressed store entry for
+   ``(nf, config, num_packets)`` when present, otherwise run the analysis
+   (and persist it, so the next score job for the same triple is free);
+2. **signatures** — distill calibrated signatures from the result, cached
+   in the store's signature shelf under the set's own content address;
+3. **stream** — score the requested traffic (an uploaded pcap or a
+   synthetic in-class stream) in batches, emitting one event per completed
+   window plus a terminal summary.
+
+``emit(kind, payload)`` receives ``("signatures", ...)`` once, then
+``("window", ...)`` per window; the returned summary carries lifetime
+counters.  ``should_cancel`` is polled between batches, so a cancelled job
+stops within one batch of traffic.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.castan import Castan, CastanResult
+from repro.core.config import CastanConfig
+from repro.nf.base import NetworkFunction
+from repro.nf.registry import get_nf
+from repro.scoring.distill import DistillReport, distill_signatures
+from repro.scoring.scorer import ScorerOptions, StreamScorer
+from repro.scoring.signatures import SignatureSet
+from repro.scoring.stream import (
+    fields_to_columns,
+    iter_pcap_batches,
+    packets_to_fields,
+    synthetic_batches,
+)
+from repro.symbex.expr import HAVE_NUMPY
+
+
+def obtain_result(
+    nf: NetworkFunction,
+    config: CastanConfig,
+    num_packets: int | None = None,
+    store=None,
+) -> CastanResult:
+    """The analysis result for ``(nf, config, num_packets)``, store-first."""
+    if store is not None:
+        key = store.key_for(nf, config, num_packets)
+        entry = store.get(key)
+        if entry is not None:
+            return entry[0]
+    result = Castan(config).analyze(nf, num_packets=num_packets)
+    if store is not None:
+        store.put(store.key_for(nf, config, num_packets), result)
+    return result
+
+
+def obtain_signatures(
+    nf: NetworkFunction,
+    result: CastanResult,
+    config: CastanConfig,
+    store=None,
+    report: DistillReport | None = None,
+) -> SignatureSet:
+    """Distilled signatures for ``result``, cached on the store's sig shelf."""
+    if store is not None:
+        from repro.service.store import canonical_result_digest
+
+        probe = SignatureSet(
+            nf_name=nf.name,
+            nf_fingerprint=nf.fingerprint(),
+            source_result_digest=canonical_result_digest(result),
+        )
+        cached = store.get_signatures(probe.store_key())
+        if cached is not None:
+            return cached
+    signature_set = distill_signatures(nf, result, config=config, report=report)
+    if store is not None:
+        store.put_signatures(signature_set)
+    return signature_set
+
+
+def _traffic_batches(nf: NetworkFunction, traffic: dict, options: ScorerOptions):
+    """Batches for one traffic spec: ``pcap_bytes``/``pcap_path`` or ``synthetic``."""
+    if "pcap_bytes" in traffic or "pcap_path" in traffic:
+        source = (
+            io.BytesIO(traffic["pcap_bytes"])
+            if "pcap_bytes" in traffic
+            else traffic["pcap_path"]
+        )
+        for packets in iter_pcap_batches(source, options.batch_size):
+            fields = packets_to_fields(packets)
+            yield fields_to_columns(fields) if HAVE_NUMPY else fields
+        return
+    if "synthetic" in traffic:
+        count = int(traffic["synthetic"])
+        if count < 0:
+            raise ValueError(f"synthetic packet count must be >= 0, got {count}")
+        seed = int(traffic.get("seed", 0))
+        yield from synthetic_batches(nf, count, options.batch_size, seed=seed)
+        return
+    raise ValueError(
+        "traffic spec needs 'pcap_bytes', 'pcap_path' or 'synthetic' "
+        f"(got keys {sorted(traffic)})"
+    )
+
+
+def run_score_job(
+    nf_spec: str,
+    config: CastanConfig,
+    traffic: dict,
+    num_packets: int | None = None,
+    store=None,
+    options: ScorerOptions | None = None,
+    emit=None,
+    should_cancel=None,
+) -> dict:
+    """Run one score job end to end; returns the terminal summary dict."""
+    options = options or ScorerOptions()
+    emit = emit or (lambda kind, payload: None)
+    nf = get_nf(nf_spec)
+    result = obtain_result(nf, config, num_packets, store=store)
+    report = DistillReport()
+    signature_set = obtain_signatures(nf, result, config, store=store, report=report)
+    emit(
+        "signatures",
+        {
+            "nf": nf.name,
+            "count": len(signature_set),
+            "store_key": signature_set.store_key(),
+            "content_hash": signature_set.content_hash(),
+            "signatures": [
+                {
+                    "kind": s.kind,
+                    "label": s.label,
+                    "threshold_cycles": s.threshold_cycles,
+                    "baseline_cycles": s.baseline_cycles,
+                    "priming_flows": len(s.priming_flows),
+                }
+                for s in signature_set
+            ],
+        },
+    )
+
+    scorer = StreamScorer(
+        signature_set.signatures,
+        window_size=options.window_size,
+        top_k=options.top_k,
+    )
+    cancelled = False
+    for batch in _traffic_batches(nf, traffic, options):
+        if should_cancel is not None and should_cancel():
+            cancelled = True
+            break
+        for window in scorer.feed(batch):
+            emit("window", window.to_dict())
+    if not cancelled:
+        trailing = scorer.finish()
+        if trailing is not None:
+            emit("window", trailing.to_dict())
+
+    summary = scorer.summary()
+    summary["nf"] = nf.name
+    summary["cancelled"] = cancelled
+    summary["signature_store_key"] = signature_set.store_key()
+    return summary

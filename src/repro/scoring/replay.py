@@ -1,0 +1,85 @@
+"""Replay calibration: probe-packet cost on an adversarially primed NF.
+
+The distiller's claim about a signature is *behavioural*: after the NF has
+absorbed the synthesized adversarial workload, a fresh matching packet is
+expensive and a fresh background packet is not.  :class:`PrimedReplay`
+measures exactly that, on the same concrete interpreter + simulated memory
+hierarchy the testbed uses: prime once, snapshot the NF memory and cache
+state, then restore the snapshot before every probe so each measurement is
+independent of probe order.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.net.flows import FlowKey
+from repro.net.packet import Packet
+from repro.nf.base import NetworkFunction
+from repro.perf.interpreter import ConcreteInterpreter
+
+Flow = tuple[int, int, int, int, int]
+
+
+def flow_packet(flow: Flow) -> Packet:
+    src_ip, dst_ip, src_port, dst_port, protocol = flow
+    return Packet(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=protocol,
+    )
+
+
+def flow_fields(flow: Flow) -> dict[str, int]:
+    src_ip, dst_ip, src_port, dst_port, protocol = flow
+    return {
+        "src_ip": src_ip,
+        "dst_ip": dst_ip,
+        "src_port": src_port,
+        "dst_port": dst_port,
+        "protocol": protocol,
+    }
+
+
+def flow_of_packet(packet: Packet) -> Flow:
+    return (packet.src_ip, packet.dst_ip, packet.src_port, packet.dst_port, packet.protocol)
+
+
+class PrimedReplay:
+    """Measure per-packet cycle cost from one primed NF state.
+
+    >>> from repro.nf.registry import get_nf
+    >>> nf = get_nf("lpm-patricia")
+    >>> replay = PrimedReplay(nf, priming_flows=[])
+    >>> replay.probe_cost((0xC0A80001, 0x08080808, 2000, 80, 17)) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        nf: NetworkFunction,
+        priming_flows: list[Flow],
+        hierarchy: MemoryHierarchy | None = None,
+    ) -> None:
+        self.nf = nf
+        self.interpreter = ConcreteInterpreter(
+            nf.module, nf.entry, hierarchy=hierarchy or MemoryHierarchy()
+        )
+        for flow in priming_flows:
+            self.interpreter.process_packet(flow_packet(flow))
+        self._snapshot = self.interpreter.snapshot_state()
+
+    def probe_cost(self, flow: Flow | FlowKey | Packet) -> int:
+        """Reference cycles for one probe packet against the primed state."""
+        if isinstance(flow, Packet):
+            packet = flow
+        elif isinstance(flow, FlowKey):
+            packet = flow.to_packet()
+        else:
+            packet = flow_packet(flow)
+        self.interpreter.restore_state(self._snapshot)
+        return self.interpreter.process_packet(packet).cycles
+
+    def probe_costs(self, flows: list[Flow]) -> list[int]:
+        return [self.probe_cost(flow) for flow in flows]

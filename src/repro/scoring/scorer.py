@@ -1,0 +1,274 @@
+"""Line-rate scoring of packet streams against adversarial signatures.
+
+Per packet the scorer produces a **verdict mask**: a 64-bit word whose bit
+*i* is set iff the packet matches signature *i*.  Two execution tiers
+produce it, mirroring the engine's interp/compiled/vector discipline:
+
+* the **scalar reference** (:func:`score_batch_fields`) evaluates each
+  predicate per packet through the DAG-aware scalar evaluator — the tier
+  that defines correctness and runs without numpy;
+* the **vectorized tier** (:func:`score_batch_columns`) evaluates each
+  predicate once over columnar field arrays via
+  :func:`~repro.symbex.expr.column_evaluator` and packs the verdict bits
+  lanewise.
+
+Both tiers must agree *byte for byte*: :func:`verdict_bytes` renders any
+batch of masks as little-endian ``u64`` and ``tests/test_scoring.py`` pins
+``verdict_bytes(vector) == verdict_bytes(scalar)`` on captures and
+hypothesis-generated batches.
+
+:class:`StreamScorer` adds the online part — lifetime and windowed
+per-signature hit counters plus a top-K offender report per window — with
+knobs read from the environment (``REPRO_SCORE_BATCH``,
+``REPRO_SCORE_WINDOW``, ``REPRO_SCORE_TOPK``).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.scoring.signatures import AdversarialSignature
+from repro.scoring.stream import FIELD_ORDER, batch_flows
+from repro.symbex.expr import HAVE_NUMPY, column_evaluator, dag_evaluator
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - numpy ships with the [vector] extra
+    _np = None
+
+#: A verdict mask is one 64-bit word, so a scorer carries at most 64
+#: signatures (far above anything the distiller emits per NF).
+MAX_SIGNATURES = 64
+
+#: Environment knobs (documented in the README knob table).
+ENV_BATCH = "REPRO_SCORE_BATCH"
+ENV_WINDOW = "REPRO_SCORE_WINDOW"
+ENV_TOPK = "REPRO_SCORE_TOPK"
+
+DEFAULT_BATCH = 8192
+DEFAULT_WINDOW = 65536
+DEFAULT_TOPK = 5
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+    if parsed < 1:
+        raise ValueError(f"{name} must be positive, got {parsed}")
+    return parsed
+
+
+def _check_signatures(signatures: list[AdversarialSignature]) -> None:
+    if len(signatures) > MAX_SIGNATURES:
+        raise ValueError(
+            f"at most {MAX_SIGNATURES} signatures fit one verdict mask, "
+            f"got {len(signatures)}"
+        )
+
+
+def score_batch_fields(
+    signatures: list[AdversarialSignature], fields: list[dict[str, int]]
+) -> list[int]:
+    """Scalar reference verdict masks for a batch of per-packet field dicts."""
+    _check_signatures(signatures)
+    evaluators = [dag_evaluator(signature.predicate) for signature in signatures]
+    masks = []
+    for packet in fields:
+        mask = 0
+        for bit, evaluator in enumerate(evaluators):
+            if evaluator(packet) != 0:
+                mask |= 1 << bit
+        masks.append(mask)
+    return masks
+
+
+def score_batch_columns(signatures: list[AdversarialSignature], columns):
+    """Vectorized verdict masks over one columnar batch (uint64 array).
+
+    Value-identical to :func:`score_batch_fields` on the same packets; the
+    differential tests hold the two tiers byte-equal via
+    :func:`verdict_bytes`.
+    """
+    if _np is None:
+        raise RuntimeError("score_batch_columns requires numpy (the [vector] extra)")
+    _check_signatures(signatures)
+    size = len(columns[FIELD_ORDER[0]])
+    masks = _np.zeros(size, dtype=_np.uint64)
+    zero = _np.uint64(0)
+    for bit, signature in enumerate(signatures):
+        verdict = column_evaluator(signature.predicate)(columns)
+        lanes = _np.broadcast_to(_np.asarray(verdict), (size,))
+        masks |= _np.where(_np.not_equal(lanes, zero), _np.uint64(1 << bit), zero)
+    return masks
+
+
+def verdict_bytes(masks) -> bytes:
+    """Canonical little-endian ``u64`` rendering of a batch of verdict masks.
+
+    The byte-identity surface of the two tiers: equal packets must yield
+    equal bytes whether ``masks`` is a Python list (scalar tier) or a numpy
+    array (vector tier).
+    """
+    if _np is not None and isinstance(masks, _np.ndarray):
+        return masks.astype("<u8").tobytes()
+    return struct.pack(f"<{len(masks)}Q", *masks)
+
+
+@dataclass
+class ScoreWindow:
+    """One completed scoring window: counters plus the top-K offenders."""
+
+    index: int
+    start_packet: int
+    packets: int
+    matched: int
+    signature_hits: list[int]
+    top_offenders: list[tuple[tuple[int, int, int, int, int], int]]
+
+    def to_dict(self) -> dict:
+        return {
+            "window": self.index,
+            "start_packet": self.start_packet,
+            "packets": self.packets,
+            "matched": self.matched,
+            "signature_hits": list(self.signature_hits),
+            "top_offenders": [
+                {"flow": list(flow), "hits": hits} for flow, hits in self.top_offenders
+            ],
+        }
+
+
+class StreamScorer:
+    """Windowed stream scoring with per-signature counters and top-K flows.
+
+    Feed batches in either representation (columnar dict of uint64 arrays,
+    or a list of per-packet field dicts); each :meth:`feed` returns the
+    windows that *completed* inside that batch, and :meth:`finish` flushes
+    the final partial window.  All counters are derived purely from the
+    verdict masks, so scalar- and vector-fed scorers of the same packets
+    report identical windows.
+    """
+
+    def __init__(
+        self,
+        signatures: list[AdversarialSignature],
+        window_size: int | None = None,
+        top_k: int | None = None,
+    ) -> None:
+        _check_signatures(list(signatures))
+        self.signatures = list(signatures)
+        self.window_size = window_size if window_size is not None else _env_int(
+            ENV_WINDOW, DEFAULT_WINDOW
+        )
+        self.top_k = top_k if top_k is not None else _env_int(ENV_TOPK, DEFAULT_TOPK)
+        if self.window_size < 1:
+            raise ValueError(f"window_size must be positive, got {self.window_size}")
+        self.total_packets = 0
+        self.total_matched = 0
+        self.total_hits = [0] * len(self.signatures)
+        self.windows_emitted = 0
+        self._window_start = 0
+        self._window_packets = 0
+        self._window_matched = 0
+        self._window_hits = [0] * len(self.signatures)
+        self._window_offenders: Counter = Counter()
+
+    # -- feeding --------------------------------------------------------------
+
+    def feed(self, batch) -> list[ScoreWindow]:
+        """Score one batch; returns the windows completed by it."""
+        if isinstance(batch, list):
+            masks = score_batch_fields(self.signatures, batch)
+        else:
+            masks = score_batch_columns(self.signatures, batch)
+        return self.ingest(masks, batch_flows(batch))
+
+    def ingest(self, masks, flows) -> list[ScoreWindow]:
+        """Account one batch's verdict masks against the window state.
+
+        ``masks`` is whatever tier produced it (list or numpy array);
+        ``flows`` the parallel 5-tuples.  Window boundaries may fall inside
+        the batch — packets are attributed to windows in stream order.
+        """
+        completed: list[ScoreWindow] = []
+        for mask, flow in zip(masks, flows):
+            mask = int(mask)
+            self.total_packets += 1
+            self._window_packets += 1
+            if mask:
+                self.total_matched += 1
+                self._window_matched += 1
+                self._window_offenders[flow] += 1
+                bits = mask
+                while bits:
+                    bit = (bits & -bits).bit_length() - 1
+                    self.total_hits[bit] += 1
+                    self._window_hits[bit] += 1
+                    bits &= bits - 1
+            if self._window_packets >= self.window_size:
+                completed.append(self._close_window())
+        return completed
+
+    def _close_window(self) -> ScoreWindow:
+        offenders = sorted(
+            self._window_offenders.items(), key=lambda item: (-item[1], item[0])
+        )[: self.top_k]
+        window = ScoreWindow(
+            index=self.windows_emitted,
+            start_packet=self._window_start,
+            packets=self._window_packets,
+            matched=self._window_matched,
+            signature_hits=list(self._window_hits),
+            top_offenders=offenders,
+        )
+        self.windows_emitted += 1
+        self._window_start += self._window_packets
+        self._window_packets = 0
+        self._window_matched = 0
+        self._window_hits = [0] * len(self.signatures)
+        self._window_offenders = Counter()
+        return window
+
+    def finish(self) -> ScoreWindow | None:
+        """Close and return the trailing partial window (``None`` if empty)."""
+        if self._window_packets == 0:
+            return None
+        return self._close_window()
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Lifetime totals (JSON-safe)."""
+        return {
+            "packets": self.total_packets,
+            "matched": self.total_matched,
+            "windows": self.windows_emitted,
+            "signatures": [
+                {
+                    "label": signature.label,
+                    "kind": signature.kind,
+                    "threshold_cycles": signature.threshold_cycles,
+                    "hits": hits,
+                }
+                for signature, hits in zip(self.signatures, self.total_hits)
+            ],
+        }
+
+
+@dataclass
+class ScorerOptions:
+    """Resolved scorer knobs (environment defaults, explicit overrides win)."""
+
+    batch_size: int = field(default_factory=lambda: _env_int(ENV_BATCH, DEFAULT_BATCH))
+    window_size: int = field(
+        default_factory=lambda: _env_int(ENV_WINDOW, DEFAULT_WINDOW)
+    )
+    top_k: int = field(default_factory=lambda: _env_int(ENV_TOPK, DEFAULT_TOPK))

@@ -1,0 +1,176 @@
+"""Packet streams for the scorer: pcap batches, columns, synthetic traffic.
+
+The scorer consumes traffic in *batches*.  With numpy a batch is columnar —
+one ``uint64`` array per packet field, the layout
+:func:`~repro.symbex.expr.column_evaluator` executes predicates over
+directly — and without numpy it degrades to a list of per-packet field
+dicts for the scalar reference path.  Both representations carry exactly
+the five canonical fields of :data:`~repro.scoring.signatures.FIELD_ORDER`,
+so converting between them (:func:`columns_to_fields` /
+:func:`fields_to_columns`) is lossless and order-preserving.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from repro.net.packet import Packet, PacketParseError
+from repro.net.pcap import PcapReader
+from repro.nf.base import NetworkFunction
+from repro.scoring.signatures import FIELD_ORDER
+from repro.symbex.expr import HAVE_NUMPY
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - numpy ships with the [vector] extra
+    _np = None
+
+
+def packet_fields(packet: Packet) -> dict[str, int]:
+    """The five canonical field values of one packet."""
+    return {
+        "src_ip": packet.src_ip,
+        "dst_ip": packet.dst_ip,
+        "src_port": packet.src_port,
+        "dst_port": packet.dst_port,
+        "protocol": packet.protocol,
+    }
+
+
+def packets_to_fields(packets: list[Packet]) -> list[dict[str, int]]:
+    """Scalar batch representation: one field dict per packet."""
+    return [packet_fields(packet) for packet in packets]
+
+
+def fields_to_columns(fields: list[dict[str, int]]):
+    """Columnar batch representation, or ``None`` without numpy."""
+    if _np is None:
+        return None
+    return {
+        name: _np.array([f[name] for f in fields], dtype=_np.uint64)
+        for name in FIELD_ORDER
+    }
+
+
+def columns_to_fields(columns) -> list[dict[str, int]]:
+    """Back from columns to per-packet field dicts (for the scalar path)."""
+    size = len(columns[FIELD_ORDER[0]])
+    return [
+        {name: int(columns[name][row]) for name in FIELD_ORDER} for row in range(size)
+    ]
+
+
+def batch_flows(batch) -> list[tuple[int, int, int, int, int]]:
+    """The 5-tuples of one batch (either representation), in packet order."""
+    if isinstance(batch, list):
+        return [tuple(f[name] for name in FIELD_ORDER) for f in batch]
+    size = len(batch[FIELD_ORDER[0]])
+    return [
+        tuple(int(batch[name][row]) for name in FIELD_ORDER) for row in range(size)
+    ]
+
+
+def iter_pcap_batches(
+    source: str | Path | BinaryIO, batch_size: int
+) -> Iterator[list[Packet]]:
+    """Parseable packets of a pcap capture, in batches of ``batch_size``.
+
+    Unparseable frames are skipped (the NFs drop non-IPv4 traffic the same
+    way); malformed *containers* still raise
+    :class:`~repro.net.pcap.PcapFormatError` from the reader.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    batch: list[Packet] = []
+    with PcapReader(source) as reader:
+        for record in reader:
+            try:
+                batch.append(record.to_packet())
+            except PacketParseError:
+                continue
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+    if batch:
+        yield batch
+
+
+def random_flow_columns(nf: NetworkFunction, size: int, rng: random.Random):
+    """Random in-traffic-class packet field columns (uint64 arrays).
+
+    Honours the NF's workload hints — source-prefix forcing, pinned VIP
+    destination, protocol — so every lane passes the NF's preamble, the
+    same traffic class the analysis searched.  Requires numpy.
+    """
+    hints = nf.workload_hints
+    gen = _np.random.default_rng(rng.getrandbits(32))
+    src_ip = gen.integers(0, 1 << 32, size=size, dtype=_np.uint64)
+    if "src_ip_prefix" in hints:
+        bits = hints.get("src_ip_prefix_bits", 8)
+        host = (1 << (32 - bits)) - 1
+        src_ip = (src_ip & _np.uint64(host)) | _np.uint64(hints["src_ip_prefix"])
+    if "dst_ip" in hints:
+        dst_ip = _np.full(size, hints["dst_ip"], dtype=_np.uint64)
+    else:
+        dst_ip = gen.integers(0, 1 << 32, size=size, dtype=_np.uint64)
+    return {
+        "src_ip": src_ip,
+        "dst_ip": dst_ip,
+        "src_port": gen.integers(1024, 1 << 16, size=size, dtype=_np.uint64),
+        "dst_port": gen.integers(1, 1 << 16, size=size, dtype=_np.uint64),
+        "protocol": _np.full(size, hints.get("protocol", 17), dtype=_np.uint64),
+    }
+
+
+def random_flow_fields(
+    nf: NetworkFunction, size: int, rng: random.Random
+) -> list[dict[str, int]]:
+    """Scalar twin of :func:`random_flow_columns` (numpy-free).
+
+    Draws from the same traffic class but not the same RNG stream —
+    synthetic scalar and columnar streams are *statistically* alike, not
+    lane-identical (differential tests convert one batch representation to
+    the other instead of regenerating).
+    """
+    hints = nf.workload_hints
+    fields = []
+    for _ in range(size):
+        src_ip = rng.getrandbits(32)
+        if "src_ip_prefix" in hints:
+            bits = hints.get("src_ip_prefix_bits", 8)
+            host = (1 << (32 - bits)) - 1
+            src_ip = (src_ip & host) | hints["src_ip_prefix"]
+        fields.append(
+            {
+                "src_ip": src_ip,
+                "dst_ip": hints.get("dst_ip", rng.getrandbits(32)),
+                "src_port": 1024 + rng.randrange((1 << 16) - 1024),
+                "dst_port": 1 + rng.randrange((1 << 16) - 1),
+                "protocol": hints.get("protocol", 17),
+            }
+        )
+    return fields
+
+
+def synthetic_batches(
+    nf: NetworkFunction, count: int, batch_size: int, seed: int = 0
+) -> Iterator:
+    """``count`` synthetic in-class packets in batches of ``batch_size``.
+
+    Yields columnar batches with numpy, per-packet field-dict batches
+    without — the two representations the scorer's vector and scalar entry
+    points consume respectively.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    rng = random.Random(seed)
+    remaining = count
+    while remaining > 0:
+        size = min(batch_size, remaining)
+        remaining -= size
+        if _np is not None:
+            yield random_flow_columns(nf, size, rng)
+        else:
+            yield random_flow_fields(nf, size, rng)

@@ -9,20 +9,27 @@ open and yields NDJSON events as the server writes them.
 
 from __future__ import annotations
 
+import base64
 import http.client
 import json
 import pickle
 import time
+from pathlib import Path
 from typing import Iterator
 
 from repro.core.castan import CastanResult
 
 
 class ServiceError(RuntimeError):
-    """An error response from the service (status + server message)."""
+    """An error response from the service (status + server message).
+
+    Transport failures — connection refused, a stream cut mid-flight —
+    surface as ``status == 0`` so callers can tell "the server said no"
+    from "there is no server" without catching raw ``OSError``.
+    """
 
     def __init__(self, status: int, message: str) -> None:
-        super().__init__(f"HTTP {status}: {message}")
+        super().__init__(f"HTTP {status}: {message}" if status else message)
         self.status = status
         self.message = message
 
@@ -45,6 +52,10 @@ class ServiceClient:
             connection.request(method, path, body=payload, headers=headers)
             response = connection.getresponse()
             raw = response.read()
+        except OSError as exc:
+            raise ServiceError(
+                0, f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
         finally:
             connection.close()
         if response.headers.get_content_type() == "application/octet-stream":
@@ -112,30 +123,79 @@ class ServiceClient:
     def store_meta(self, key: str) -> dict:
         return self._request("GET", f"/store/{key}")
 
+    def signature_keys(self) -> list[str]:
+        """Keys of every distilled signature set on the store's sig shelf."""
+        return self._request("GET", "/signatures")["keys"]
+
+    def score(
+        self,
+        nf_spec: str,
+        traffic: dict,
+        config: dict | None = None,
+        num_packets: int | None = None,
+        options: dict | None = None,
+    ) -> dict:
+        """Submit one score job; returns its job dict (stream for windows).
+
+        ``traffic`` is ``{"synthetic": N, "seed": s}`` for an in-class
+        stream, ``{"pcap_path": ...}`` to upload a local capture (read and
+        base64-encoded here — the server never touches client paths), or
+        ``{"pcap_b64": ...}`` if the caller already encoded one.
+        """
+        traffic = dict(traffic)
+        if "pcap_path" in traffic:
+            raw = Path(traffic.pop("pcap_path")).read_bytes()
+            traffic["pcap_b64"] = base64.b64encode(raw).decode()
+        body: dict = {"nf": nf_spec, "traffic": traffic}
+        if config:
+            body["config"] = config
+        if num_packets is not None:
+            body["num_packets"] = num_packets
+        if options:
+            body["options"] = options
+        return self._request("POST", "/score", body)
+
     def stream(self, job_id: str, timeout: float | None = None) -> Iterator[dict]:
         """Yield the job's NDJSON events (history replay, then live).
 
         The iterator ends after the terminal ``"end"`` event; ``timeout``
-        bounds the *whole* stream (falls back to the client default).
+        bounds the *whole* stream (falls back to the client default).  A
+        stream that dies before its terminal event — the server crashed,
+        the connection dropped — raises :class:`ServiceError` (status 0)
+        instead of ending silently, so a consumer can never mistake a
+        truncated stream for a finished job.
         """
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout if timeout is not None else self.timeout
         )
         try:
-            connection.request("GET", f"/jobs/{job_id}/stream")
-            response = connection.getresponse()
+            try:
+                connection.request("GET", f"/jobs/{job_id}/stream")
+                response = connection.getresponse()
+            except OSError as exc:
+                raise ServiceError(
+                    0, f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
             if response.status != 200:
                 raw = response.read()
                 data = json.loads(raw) if raw else {}
                 raise ServiceError(response.status, data.get("error", ""))
-            for line in response:
-                line = line.strip()
-                if not line:
-                    continue
-                event = json.loads(line)
-                yield event
-                if event.get("event") == "end":
-                    return
+            try:
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    yield event
+                    if event.get("event") == "end":
+                        return
+            except OSError as exc:
+                raise ServiceError(
+                    0, f"stream for {job_id} dropped mid-flight: {exc}"
+                ) from exc
+            raise ServiceError(
+                0, f"stream for {job_id} ended before its terminal event"
+            )
         finally:
             connection.close()
 

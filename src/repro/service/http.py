@@ -9,6 +9,11 @@ Endpoints (all JSON unless noted)::
     GET  /healthz                  liveness + job-state counts + store size
     POST /jobs                     submit {"nf": ...} or {"nfs": [...]},
                                    optional "config" overrides, "num_packets"
+    POST /score                    submit a score job: {"nf": ..., "traffic":
+                                   {"synthetic": N, "seed": s} or
+                                   {"pcap_b64": ...}}, optional "config",
+                                   "num_packets", "options" (scorer knobs);
+                                   windows stream via /jobs/<id>/stream
     GET  /jobs                     every job, in submission order
     GET  /jobs/<id>                one job
     POST /jobs/<id>/cancel         request cancellation
@@ -19,6 +24,7 @@ Endpoints (all JSON unless noted)::
     GET  /jobs/<id>/result.pkl     the pickled CastanResult itself (binary)
     GET  /store                    stored content addresses
     GET  /store/<key>              one stored entry's metadata
+    GET  /signatures               stored signature-set keys (the sig shelf)
 
 The stream response carries no ``Content-Length``: with ``Connection:
 close`` the body is framed by EOF, which every HTTP/1.1 client (including
@@ -29,6 +35,8 @@ moment they happen.
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
 import json
 import pickle
 
@@ -159,6 +167,34 @@ def _submit(service: SynthesisService, body: dict) -> dict:
     return {"jobs": [job.to_dict() for job in jobs]}
 
 
+def _submit_score(service: SynthesisService, body: dict) -> dict:
+    if "nf" not in body:
+        raise HttpError(400, "score submission needs 'nf'")
+    traffic = body.get("traffic")
+    if not isinstance(traffic, dict):
+        raise HttpError(400, "score submission needs a 'traffic' object")
+    traffic = dict(traffic)
+    if "pcap_b64" in traffic:
+        try:
+            traffic["pcap_bytes"] = base64.b64decode(
+                traffic.pop("pcap_b64"), validate=True
+            )
+        except (binascii.Error, TypeError, ValueError) as exc:
+            raise HttpError(400, f"'pcap_b64' is not valid base64: {exc}") from None
+    try:
+        job = service.submit_score(
+            body["nf"],
+            body.get("config") or {},
+            traffic=traffic,
+            num_packets=body.get("num_packets"),
+            scorer_options=body.get("options") or {},
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise HttpError(400, str(message)) from None
+    return job.to_dict()
+
+
 def _stored_result(service: SynthesisService, job_id: str):
     job = _get_job(service, job_id)
     if job.state != "done":
@@ -212,6 +248,12 @@ async def _route(
             )
         else:
             raise HttpError(404, f"unknown endpoint {method} {path}")
+    elif parts == ["score"]:
+        if method != "POST":
+            raise HttpError(405, f"{method} not allowed on /score")
+        await _send_json(writer, 200, _submit_score(service, body))
+    elif parts == ["signatures"] and method == "GET":
+        await _send_json(writer, 200, {"keys": service.store.signature_keys()})
     elif parts == ["store"] and method == "GET":
         await _send_json(writer, 200, {"keys": service.store.keys()})
     elif len(parts) == 2 and parts[0] == "store" and method == "GET":

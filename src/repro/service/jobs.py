@@ -30,6 +30,13 @@ CANCELLED = "cancelled"
 TERMINAL_STATES = (DONE, FAILED, CANCELLED)
 
 
+#: Job kinds.  ``analyze`` runs the engine in a leased worker process;
+#: ``score`` runs the scoring pipeline (store-first analysis → distilled
+#: signatures → windowed stream scoring) in an executor thread.
+ANALYZE = "analyze"
+SCORE = "score"
+
+
 @dataclass
 class JobRecord:
     """Everything the server tracks about one submitted analysis."""
@@ -41,6 +48,12 @@ class JobRecord:
     cache_key: str
     config_hash: str
     nf_fingerprint: str
+    kind: str = ANALYZE
+    #: Score jobs only: the traffic spec (``pcap_bytes``/``pcap_path``/
+    #: ``synthetic``) and scorer knob overrides.  Not part of :meth:`to_dict`
+    #: — pcap bytes are neither JSON-safe nor interesting to job listings.
+    traffic: dict | None = None
+    scorer_options: dict | None = None
     state: str = QUEUED
     cached: bool = False
     attempts: int = 0
@@ -62,6 +75,7 @@ class JobRecord:
         """JSON-safe view served by the job endpoints."""
         return {
             "job_id": self.job_id,
+            "kind": self.kind,
             "nf": self.nf_spec,
             "num_packets": self.num_packets,
             "state": self.state,

@@ -41,12 +41,15 @@ from repro.core.config import CastanConfig
 from repro.nf.registry import get_nf
 from repro.parallel.lease import WorkerLease
 from repro.parallel.pool import make_context
+from repro.scoring.jobs import run_score_job
+from repro.scoring.scorer import ScorerOptions
 from repro.service.jobs import (
     CANCELLED,
     DONE,
     FAILED,
     QUEUED,
     RUNNING,
+    SCORE,
     JobRecord,
 )
 from repro.service.store import ResultStore, perf_record, result_summary
@@ -157,6 +160,51 @@ class SynthesisService:
         self._queue.put_nowait(job.job_id)
         return job
 
+    def submit_score(
+        self,
+        nf_spec: str,
+        config_overrides: dict | None = None,
+        traffic: dict | None = None,
+        num_packets: int | None = None,
+        scorer_options: dict | None = None,
+    ) -> JobRecord:
+        """Validate and enqueue one score job (distill + stream scoring).
+
+        Unlike :meth:`submit`, a score job never short-circuits at
+        submission: scoring the *traffic* is the work.  The expensive
+        halves — the analysis result and the distilled signature set — are
+        still store-first inside the executor, so repeat scores of the same
+        ``(nf, config)`` reuse both and pay only for streaming.
+        """
+        config = CastanConfig.from_dict(config_overrides or {})
+        nf = get_nf(nf_spec)
+        traffic = dict(traffic or {})
+        if not any(k in traffic for k in ("pcap_bytes", "pcap_path", "synthetic")):
+            raise ValueError(
+                "score traffic needs 'pcap_bytes', 'pcap_path' or 'synthetic' "
+                f"(got keys {sorted(traffic)})"
+            )
+        if scorer_options:
+            ScorerOptions(**scorer_options)  # typoed knobs fail the submit
+        job = JobRecord(
+            job_id=f"job-{next(self._job_ids):04d}",
+            nf_spec=nf_spec,
+            config=config.to_canonical_dict(),
+            num_packets=num_packets,
+            cache_key=self.store.key_for(nf, config, num_packets),
+            config_hash=config.content_hash(),
+            nf_fingerprint=nf.fingerprint(),
+            kind=SCORE,
+            traffic=traffic,
+            scorer_options=dict(scorer_options or {}),
+            max_attempts=1,  # scoring is store-backed: a retry re-pays nothing
+        )
+        self.jobs[job.job_id] = job
+        self._events[job.job_id] = []
+        self._publish_status(job)
+        self._queue.put_nowait(job.job_id)
+        return job
+
     def cancel(self, job_id: str) -> JobRecord:
         """Request cancellation; queued jobs die immediately, running ones
         are revoked by their drain loop at the next poll tick."""
@@ -230,7 +278,10 @@ class SynthesisService:
             if job.cancel_requested or job.is_terminal:
                 continue
             try:
-                await self._execute(job)
+                if job.kind == SCORE:
+                    await self._execute_score(job)
+                else:
+                    await self._execute(job)
             except Exception as exc:  # defensive: a scheduler must survive
                 job.state = FAILED
                 job.error = f"internal scheduler error: {exc!r}"
@@ -342,6 +393,52 @@ class SynthesisService:
             if kind == "done":
                 self._finish(job, payload)
                 return "done"
+
+    async def _execute_score(self, job: JobRecord) -> None:
+        """Run one score job in an executor thread.
+
+        Score jobs carry no leased worker process: the heavy halves
+        (analysis, distillation) are store-first and the streaming half is
+        cancellation-polled between batches, so a thread keeps the event
+        loop free while ``emit`` fans ``signatures``/``window`` events into
+        the job's NDJSON stream via ``call_soon_threadsafe``.
+        """
+        loop = asyncio.get_running_loop()
+        job.attempts += 1
+        job.state = RUNNING
+        job.started_at = time.time()
+        self._publish_status(job)
+
+        def emit(kind: str, payload: dict) -> None:
+            loop.call_soon_threadsafe(
+                self._publish,
+                job.job_id,
+                {"event": kind, "job_id": job.job_id, kind: payload},
+            )
+
+        def run() -> dict:
+            return run_score_job(
+                job.nf_spec,
+                CastanConfig.from_dict(job.config),
+                job.traffic or {},
+                num_packets=job.num_packets,
+                store=self.store,
+                options=ScorerOptions(**(job.scorer_options or {})),
+                emit=emit,
+                should_cancel=lambda: job.cancel_requested,
+            )
+
+        try:
+            summary = await loop.run_in_executor(None, run)
+        except Exception as exc:
+            job.state = FAILED
+            job.error = f"score job raised: {exc!r}"
+        else:
+            job.state = CANCELLED if summary.get("cancelled") else DONE
+            job.result_summary = summary
+        job.finished_at = time.time()
+        self._publish_status(job)
+        self._publish_end(job)
 
     def _finish(self, job: JobRecord, result) -> None:
         """Persist a successful result and settle the job."""

@@ -209,3 +209,43 @@ class ResultStore:
 
     def __len__(self) -> int:
         return len(self.keys())
+
+    # -- signature shelf ------------------------------------------------------
+    #
+    # Distilled signature sets (repro.scoring) live beside the results they
+    # were distilled from, addressed by SignatureSet.store_key() — a function
+    # of the NF fingerprint and the source result's canonical digest, the
+    # same derivation discipline as result_key().  The shelf is a sibling
+    # directory ("sig/", three characters), so keys() — which only walks
+    # two-character shards — never lists signature entries as results.
+
+    def _signature_path(self, key: str) -> Path:
+        return self.root / "sig" / key[:2] / f"{key}.json"
+
+    def put_signatures(self, signature_set) -> str:
+        """Persist one distilled signature set; returns its store key."""
+        key = signature_set.store_key()
+        path = self._signature_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False
+        ) as staged:
+            staged.write(signature_set.to_json())
+        Path(staged.name).replace(path)
+        return key
+
+    def get_signatures(self, key: str):
+        """Load a stored signature set by key, or ``None`` when absent."""
+        from repro.scoring.signatures import signature_set_from_json
+
+        path = self._signature_path(key)
+        if not path.exists():
+            return None
+        return signature_set_from_json(path.read_text())
+
+    def signature_keys(self) -> list[str]:
+        """Every stored signature-set key (sorted)."""
+        shelf = self.root / "sig"
+        if not shelf.is_dir():
+            return []
+        return sorted(path.stem for path in shelf.glob("*/*.json"))

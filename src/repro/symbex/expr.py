@@ -981,59 +981,93 @@ register_cache_clear_hook(_clear_column_evaluators)
 
 
 def _build_column_evaluator(expr: Expr):
+    """Compile ``expr`` into a columnar evaluation *schedule*.
+
+    Interned expressions are DAGs, not trees: a hash unrolled symbolically
+    references each round's partial state several times, so a naive
+    closure-per-node evaluator re-derives shared subtrees once per
+    *reference* — exponential work on exactly the expressions the scoring
+    layer cares about.  Instead, walk the DAG once in topological order and
+    emit one step per unique node; evaluation runs the schedule into a slot
+    array, so every node is computed exactly once per call.
+    """
     np = _np
-    if expr.__class__ is Const:
-        value = np.uint64(expr.value)
+    zero = np.uint64(0)
 
-        def ev(columns, _v=value):
-            return _v
+    # Iterative postorder over unique nodes (interning makes identity the
+    # same as structural equality).
+    order: list[Expr] = []
+    seen: set[int] = set()
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        kind = node.__class__
+        if kind is BinExpr or kind is CmpExpr:
+            stack.append((node.lhs, False))
+            stack.append((node.rhs, False))
+        elif kind is SelectExpr:
+            stack.append((node.cond, False))
+            stack.append((node.if_true, False))
+            stack.append((node.if_false, False))
 
-        return ev
-    if expr.__class__ is Sym:
-        name = expr.name
-        if expr.bits == MACHINE_BITS:
+    slot_of = {id(node): slot for slot, node in enumerate(order)}
+    # Step encodings: (0, const) | (1, name, mask|None) | (2, fn, l, r)
+    # for bin/cmp | (3, cond, if_true, if_false) for select.
+    steps: list[tuple] = []
+    for node in order:
+        kind = node.__class__
+        if kind is Const:
+            steps.append((0, np.uint64(node.value)))
+        elif kind is Sym:
+            mask = None if node.bits == MACHINE_BITS else np.uint64(node.mask)
+            steps.append((1, node.name, mask))
+        elif kind is BinExpr:
+            steps.append(
+                (2, VEC_BINOP_FUNCS[node.op], slot_of[id(node.lhs)], slot_of[id(node.rhs)])
+            )
+        elif kind is CmpExpr:
+            steps.append(
+                (2, VEC_CMP_FUNCS[node.pred], slot_of[id(node.lhs)], slot_of[id(node.rhs)])
+            )
+        elif kind is SelectExpr:
+            # Both branches are evaluated (they are total functions, so this
+            # is value-identical to the scalar short-circuit), merged lanewise.
+            steps.append(
+                (
+                    3,
+                    slot_of[id(node.cond)],
+                    slot_of[id(node.if_true)],
+                    slot_of[id(node.if_false)],
+                )
+            )
+        else:
+            raise TypeError(f"cannot build a column evaluator for {node!r}")
 
-            def ev(columns, _n=name):
-                return columns[_n]
+    def ev(columns, _steps=steps, _np=np, _zero=zero):
+        slots = [None] * len(_steps)
+        for index, step in enumerate(_steps):
+            tag = step[0]
+            if tag == 2:
+                slots[index] = step[1](slots[step[2]], slots[step[3]])
+            elif tag == 1:
+                column = columns[step[1]]
+                slots[index] = column if step[2] is None else _np.bitwise_and(column, step[2])
+            elif tag == 0:
+                slots[index] = step[1]
+            else:
+                slots[index] = _np.where(
+                    _np.not_equal(slots[step[1]], _zero), slots[step[2]], slots[step[3]]
+                )
+        return slots[-1]
 
-            return ev
-        mask = np.uint64(expr.mask)
-
-        def ev(columns, _n=name, _m=mask):
-            return np.bitwise_and(columns[_n], _m)
-
-        return ev
-    if expr.__class__ is BinExpr:
-        fn = VEC_BINOP_FUNCS[expr.op]
-        lhs = column_evaluator(expr.lhs)
-        rhs = column_evaluator(expr.rhs)
-
-        def ev(columns, _f=fn, _l=lhs, _r=rhs):
-            return _f(_l(columns), _r(columns))
-
-        return ev
-    if expr.__class__ is CmpExpr:
-        fn = VEC_CMP_FUNCS[expr.pred]
-        lhs = column_evaluator(expr.lhs)
-        rhs = column_evaluator(expr.rhs)
-
-        def ev(columns, _f=fn, _l=lhs, _r=rhs):
-            return _f(_l(columns), _r(columns))
-
-        return ev
-    if expr.__class__ is SelectExpr:
-        # Both branches are evaluated (they are total functions, so this is
-        # value-identical to the scalar short-circuit) and merged lanewise.
-        cond = column_evaluator(expr.cond)
-        if_true = column_evaluator(expr.if_true)
-        if_false = column_evaluator(expr.if_false)
-        zero = np.uint64(0)
-
-        def ev(columns, _c=cond, _t=if_true, _f=if_false, _z=zero):
-            return np.where(np.not_equal(_c(columns), _z), _t(columns), _f(columns))
-
-        return ev
-    raise TypeError(f"cannot build a column evaluator for {expr!r}")
+    return ev
 
 
 def column_evaluator(expr: Expr):
@@ -1052,3 +1086,268 @@ def column_evaluator(expr: Expr):
         ev = _build_column_evaluator(expr)
         _COLUMN_EVALUATORS[expr] = ev
     return ev
+
+
+_DAG_EVALUATORS: dict[Expr, object] = {}
+
+
+def _clear_dag_evaluators() -> None:
+    _DAG_EVALUATORS.clear()
+
+
+register_cache_clear_hook(_clear_dag_evaluators)
+
+
+def dag_evaluator(expr: Expr):
+    """A scalar evaluator that computes each unique DAG node exactly once.
+
+    :func:`evaluate` walks the expression as a *tree*: a shared node is
+    re-evaluated once per reference, which is exponential on heavily shared
+    DAGs like the symbolically unrolled flow hash.  The returned callable is
+    value-identical to ``evaluate(expr, assignment)`` for every complete
+    assignment — every operator (including ``UDIV``/``UREM``) is total, so
+    evaluating both branches of a select instead of only the taken one
+    cannot change the result — but runs in time linear in the number of
+    *unique* nodes.  Needs no numpy; this is the scalar reference path of
+    the scoring layer.
+    """
+    ev = _DAG_EVALUATORS.get(expr)
+    if ev is not None:
+        return ev
+
+    order: list[Expr] = []
+    seen: set[int] = set()
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        kind = node.__class__
+        if kind is BinExpr or kind is CmpExpr:
+            stack.append((node.lhs, False))
+            stack.append((node.rhs, False))
+        elif kind is SelectExpr:
+            stack.append((node.cond, False))
+            stack.append((node.if_true, False))
+            stack.append((node.if_false, False))
+
+    slot_of = {id(node): slot for slot, node in enumerate(order)}
+    # Step encodings mirror _build_column_evaluator: (0, const) |
+    # (1, name, mask) | (2, fn, l, r) for bin/cmp | (3, cond, t, f).
+    steps: list[tuple] = []
+    for node in order:
+        kind = node.__class__
+        if kind is Const:
+            steps.append((0, node.value))
+        elif kind is Sym:
+            steps.append((1, node.name, node.mask))
+        elif kind is BinExpr:
+            steps.append(
+                (2, BINOP_FUNCS[node.op], slot_of[id(node.lhs)], slot_of[id(node.rhs)])
+            )
+        elif kind is CmpExpr:
+            steps.append(
+                (2, CMP_FUNCS[node.pred], slot_of[id(node.lhs)], slot_of[id(node.rhs)])
+            )
+        elif kind is SelectExpr:
+            steps.append(
+                (
+                    3,
+                    slot_of[id(node.cond)],
+                    slot_of[id(node.if_true)],
+                    slot_of[id(node.if_false)],
+                )
+            )
+        else:
+            raise TypeError(f"cannot evaluate {node!r}")
+
+    def ev(assignment, _steps=steps):
+        slots = [0] * len(_steps)
+        for index, step in enumerate(_steps):
+            tag = step[0]
+            if tag == 2:
+                slots[index] = step[1](slots[step[2]], slots[step[3]])
+            elif tag == 1:
+                slots[index] = assignment[step[1]] & step[2]
+            elif tag == 0:
+                slots[index] = step[1]
+            else:
+                slots[index] = slots[step[2]] if slots[step[1]] else slots[step[3]]
+        return slots[-1]
+
+    _DAG_EVALUATORS[expr] = ev
+    return ev
+
+
+# -- extraction: serialization and symbol renaming -----------------------------------
+#
+# The adversarial-signature layer (repro.scoring) persists predicates —
+# mask/shift/compare trees over packet fields — as JSON next to the PR 8
+# result store, and lifts the engine's per-packet havoc key expressions
+# (symbols like ``pkt3.src_port``) into per-packet-stream predicates over the
+# canonical field symbols.  Both operations live here because they must track
+# the node classes exactly.
+
+_EXPR_TAGS = {"const", "sym", "bin", "cmp", "select"}
+
+#: Format tag of the serialized expression envelope.  The payload is a
+#: *node table*, not a nested tree: expressions are interned DAGs, and a
+#: per-reference tree rendering of (say) an unrolled hash — where every
+#: round's intermediate feeds several later rounds — expands exponentially
+#: in both serialization time and JSON size.  The table lists each unique
+#: node exactly once, in dependency order, with children as integer indices.
+EXPR_DICT_FORMAT = "expr-dag-v1"
+
+
+def expr_to_dict(expr: Expr) -> dict:
+    """A JSON-safe, sharing-preserving rendering of an expression DAG.
+
+    Returns ``{"k": "expr-dag-v1", "nodes": [...], "root": <index>}`` where
+    ``nodes`` holds one entry per *unique* node in iterative postorder and
+    children are referenced by table index.  Size and time are linear in
+    the number of unique nodes regardless of how often they are shared.
+
+    Operators serialize by enum *name* (``"ADD"``, ``"ULT"``), which is the
+    stable identifier — the dialect token (``op.value``) is display syntax.
+    """
+    nodes: list[dict] = []
+    index: dict[int, int] = {}
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        key = id(node)
+        if key in index:
+            continue
+        kind = type(node)
+        if not expanded:
+            stack.append((node, True))
+            if kind is BinExpr or kind is CmpExpr:
+                stack.append((node.lhs, False))
+                stack.append((node.rhs, False))
+            elif kind is SelectExpr:
+                stack.append((node.cond, False))
+                stack.append((node.if_true, False))
+                stack.append((node.if_false, False))
+            continue
+        if kind is Const:
+            entry = {"k": "const", "v": node.value}
+        elif kind is Sym:
+            entry = {"k": "sym", "name": node.name, "bits": node.bits}
+        elif kind is BinExpr:
+            entry = {
+                "k": "bin",
+                "op": node.op.name,
+                "lhs": index[id(node.lhs)],
+                "rhs": index[id(node.rhs)],
+            }
+        elif kind is CmpExpr:
+            entry = {
+                "k": "cmp",
+                "pred": node.pred.name,
+                "lhs": index[id(node.lhs)],
+                "rhs": index[id(node.rhs)],
+            }
+        elif kind is SelectExpr:
+            entry = {
+                "k": "select",
+                "cond": index[id(node.cond)],
+                "if_true": index[id(node.if_true)],
+                "if_false": index[id(node.if_false)],
+            }
+        else:
+            raise TypeError(f"cannot serialize {node!r}")
+        index[key] = len(nodes)
+        nodes.append(entry)
+    return {"k": EXPR_DICT_FORMAT, "nodes": nodes, "root": index[id(expr)]}
+
+
+def expr_from_dict(data: dict) -> Expr:
+    """Rebuild an expression from :func:`expr_to_dict` output.
+
+    Reconstruction goes through the normalising ``make_*`` constructors,
+    which are idempotent on already-normalised trees — a round trip of a
+    predicate built through them returns the *same* interned node, and
+    shared children rebuild once (by table index), never per reference.
+    """
+    if not isinstance(data, dict) or data.get("k") != EXPR_DICT_FORMAT:
+        raise ValueError(f"not a serialized expression: {data!r}")
+    raw_nodes = data["nodes"]
+    root = int(data["root"])
+    if not isinstance(raw_nodes, list) or not 0 <= root < len(raw_nodes):
+        raise ValueError(f"malformed expression table: {data!r}")
+    built: list[Expr] = []
+
+    def child(entry: dict, field: str, limit: int) -> Expr:
+        ref = int(entry[field])
+        if not 0 <= ref < limit:
+            raise ValueError(f"forward or out-of-range node reference: {entry!r}")
+        return built[ref]
+
+    for position, entry in enumerate(raw_nodes):
+        if not isinstance(entry, dict) or entry.get("k") not in _EXPR_TAGS:
+            raise ValueError(f"not a serialized expression node: {entry!r}")
+        kind = entry["k"]
+        if kind == "const":
+            node = Const(int(entry["v"]))
+        elif kind == "sym":
+            node = Sym(str(entry["name"]), bits=int(entry["bits"]))
+        elif kind == "bin":
+            node = make_binop(
+                BinOpKind[entry["op"]],
+                child(entry, "lhs", position),
+                child(entry, "rhs", position),
+            )
+        elif kind == "cmp":
+            node = make_cmp(
+                CmpKind[entry["pred"]],
+                child(entry, "lhs", position),
+                child(entry, "rhs", position),
+            )
+        else:
+            node = make_select(
+                child(entry, "cond", position),
+                child(entry, "if_true", position),
+                child(entry, "if_false", position),
+            )
+        built.append(node)
+    return built[root]
+
+
+def rename_symbols(expr: Expr, mapping: dict[str, Sym]) -> Expr:
+    """Rebuild ``expr`` with every symbol in ``mapping`` replaced.
+
+    Replacement symbols keep their own declared widths (a renamed symbol is
+    masked to the *new* width on evaluation).  Subtrees mentioning no mapped
+    symbol are returned unchanged, exactly like :func:`substitute`.
+    """
+    names = expr.symbol_names
+    if not names:
+        return expr
+    for name in names:
+        if name in mapping:
+            break
+    else:
+        return expr
+    kind = type(expr)
+    if kind is Sym:
+        return mapping.get(expr.name, expr)
+    if kind is BinExpr:
+        return make_binop(
+            expr.op, rename_symbols(expr.lhs, mapping), rename_symbols(expr.rhs, mapping)
+        )
+    if kind is CmpExpr:
+        return make_cmp(
+            expr.pred, rename_symbols(expr.lhs, mapping), rename_symbols(expr.rhs, mapping)
+        )
+    if kind is SelectExpr:
+        return make_select(
+            rename_symbols(expr.cond, mapping),
+            rename_symbols(expr.if_true, mapping),
+            rename_symbols(expr.if_false, mapping),
+        )
+    raise TypeError(f"cannot rename symbols in {expr!r}")

@@ -166,6 +166,42 @@ class TestPcap:
         timestamps = [record.timestamp for record in reader]
         assert timestamps == sorted(timestamps)
 
+    def test_reader_rejects_unsupported_linktype(self):
+        import struct
+
+        from repro.net.pcap import _GLOBAL_HEADER
+
+        header = _GLOBAL_HEADER.pack(0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)  # RAW
+        with pytest.raises(PcapFormatError, match="link type 101"):
+            PcapReader(io.BytesIO(header))
+        # Byte-swapped captures get the same check after the endian flip.
+        swapped = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 105)
+        with pytest.raises(PcapFormatError, match="link type 105"):
+            PcapReader(io.BytesIO(swapped))
+
+    def test_reader_rejects_truncated_record_header(self):
+        packets = [make_udp_packet(1, 2, 3, 4)]
+        blob = packets_to_pcap_bytes(packets)
+        # Chop the second record's header off mid-way.
+        truncated = blob + b"\x00" * 7
+        with pytest.raises(PcapFormatError, match=r"record header \(7 of 16"):
+            list(PcapReader(io.BytesIO(truncated)))
+
+    def test_reader_rejects_truncated_record_data(self):
+        blob = packets_to_pcap_bytes([make_udp_packet(1, 2, 3, 4)])
+        with pytest.raises(PcapFormatError, match="truncated pcap record data"):
+            list(PcapReader(io.BytesIO(blob[:-5])))
+
+    def test_reader_rejects_implausible_record_length(self):
+        import struct
+
+        from repro.net.pcap import _GLOBAL_HEADER, MAX_RECORD_BYTES
+
+        header = _GLOBAL_HEADER.pack(0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        bogus = struct.pack("<IIII", 0, 0, MAX_RECORD_BYTES + 1, MAX_RECORD_BYTES + 1)
+        with pytest.raises(PcapFormatError, match="implausible pcap record length"):
+            list(PcapReader(io.BytesIO(header + bogus)))
+
     def test_read_skips_unparseable_frames_by_default(self, tmp_path):
         path = tmp_path / "mixed.pcap"
         with PcapWriter(path) as writer:

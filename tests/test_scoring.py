@@ -1,0 +1,403 @@
+"""Tests for the adversarial-traffic scoring layer (``repro.scoring``).
+
+Three gates, mirroring the layer's three claims:
+
+* **serialization** — signature predicates are interned DAGs; the flat
+  node-table JSON form must round-trip to the *same* interned node, stay
+  linear in unique nodes (the unrolled flow hash would be exponential as a
+  tree), and keep content hashes stable;
+* **soundness** (property-based) — after priming the NF with a signature's
+  recorded workload, packets satisfying the predicate incur replay cost at
+  or above the published threshold while in-class background packets stay
+  below it;
+* **tier identity** (differential) — the vectorized scorer's verdict masks
+  are byte-identical to the scalar reference on pcap-sourced and
+  hypothesis-generated batches, including empty / single-packet /
+  window-boundary shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.castan import Castan
+from repro.core.config import CastanConfig
+from repro.hashing.functions import flow_hash16
+from repro.ir.instructions import CmpKind
+from repro.net.packet import make_udp_packet
+from repro.net.pcap import packets_to_pcap_bytes
+from repro.nf.registry import get_nf
+from repro.scoring import (
+    AdversarialSignature,
+    SignatureSet,
+    StreamScorer,
+    distill_signatures,
+    score_batch_fields,
+    signature_set_from_json,
+    verdict_bytes,
+)
+from repro.scoring.distill import _mine_matching_columns
+from repro.scoring.replay import PrimedReplay, flow_fields
+from repro.scoring.signatures import (
+    FIELD_ORDER,
+    field_sym,
+    flow_hash16_expr,
+    signature_from_dict,
+)
+from repro.scoring.stream import (
+    fields_to_columns,
+    iter_pcap_batches,
+    packets_to_fields,
+    random_flow_fields,
+)
+from repro.symbex.expr import (
+    HAVE_NUMPY,
+    Const,
+    Sym,
+    expr_from_dict,
+    expr_to_dict,
+    make_cmp,
+)
+
+SMOKE = {"max_states": 40, "deadline_seconds": None, "search_mode": "beam"}
+
+#: NFs the soundness suite distills at smoke scale: a chained hash table
+#: (bucket collisions), an open-addressing ring (arc / exact-hash
+#: collisions) and the patricia LPM (field clustering, no hash).
+SOUNDNESS_NFS = ("nat-hash-table", "lb-hash-ring", "lpm-patricia")
+
+
+@pytest.fixture(scope="module", params=SOUNDNESS_NFS)
+def distilled(request):
+    """One smoke-scale analysis + distillation per soundness NF."""
+    nf = get_nf(request.param)
+    config = CastanConfig(**SMOKE)
+    result = Castan(config).analyze(nf, num_packets=3)
+    signature_set = distill_signatures(nf, result, config=config)
+    return nf, config, result, signature_set
+
+
+@pytest.fixture(scope="module")
+def nat_distilled():
+    """The NAT's signatures (includes the unrolled-hash predicate)."""
+    nf = get_nf("nat-hash-table")
+    config = CastanConfig(**SMOKE)
+    result = Castan(config).analyze(nf, num_packets=3)
+    signature_set = distill_signatures(nf, result, config=config)
+    assert signature_set.signatures, "smoke NAT run must distill signatures"
+    return nf, signature_set
+
+
+def _flow_of(fields: dict) -> tuple[int, int, int, int, int]:
+    return tuple(fields[name] for name in FIELD_ORDER)
+
+
+# -- serialization -------------------------------------------------------------
+
+
+class TestSerialization:
+    def test_flow_hash_expr_matches_concrete_hash(self):
+        expr = flow_hash16_expr(Sym("key", bits=64))
+        from repro.symbex.expr import dag_evaluator
+
+        evaluator = dag_evaluator(expr)
+        rng = random.Random(11)
+        for _ in range(64):
+            key = rng.getrandbits(64)
+            assert evaluator({"key": key}) == flow_hash16(key)
+
+    def test_expr_dag_serialization_is_linear_in_unique_nodes(self):
+        # The unrolled hash references each round's intermediate several
+        # times; a tree rendering would have ~4^depth entries.  The node
+        # table must stay at the unique-node count.
+        data = expr_to_dict(flow_hash16_expr(Sym("key", bits=64)))
+        assert data["k"] == "expr-dag-v1"
+        assert len(data["nodes"]) < 200
+        # ... and survive a JSON round trip to the same interned node.
+        clone = expr_from_dict(json.loads(json.dumps(data)))
+        assert clone is flow_hash16_expr(Sym("key", bits=64))
+
+    def test_expr_round_trip_reinterns(self):
+        pred = make_cmp(CmpKind.EQ, field_sym("dst_port"), Const(443))
+        assert expr_from_dict(expr_to_dict(pred)) is pred
+
+    def test_expr_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            expr_from_dict({"k": "const", "v": 1})  # old nested format
+        with pytest.raises(ValueError):
+            expr_from_dict({"k": "expr-dag-v1", "nodes": [], "root": 0})
+
+    def test_expr_from_dict_rejects_forward_references(self):
+        data = {
+            "k": "expr-dag-v1",
+            "nodes": [
+                {"k": "bin", "op": "ADD", "lhs": 1, "rhs": 1},
+                {"k": "const", "v": 1},
+            ],
+            "root": 0,
+        }
+        with pytest.raises(ValueError, match="forward or out-of-range"):
+            expr_from_dict(data)
+
+    def test_signature_set_json_round_trip(self, nat_distilled):
+        _nf, signature_set = nat_distilled
+        clone = signature_set_from_json(signature_set.to_json())
+        assert clone.labels == signature_set.labels
+        for original, rebuilt in zip(signature_set, clone):
+            assert rebuilt.predicate is original.predicate
+            assert rebuilt.content_hash() == original.content_hash()
+            assert rebuilt.priming_flows == original.priming_flows
+        assert clone.content_hash() == signature_set.content_hash()
+        assert clone.store_key() == signature_set.store_key()
+
+    def test_signature_version_gate(self, nat_distilled):
+        _nf, signature_set = nat_distilled
+        data = signature_set.signatures[0].to_dict()
+        data["version"] = "castan-signature-v0"
+        with pytest.raises(ValueError, match="version"):
+            signature_from_dict(data)
+
+    def test_store_signature_shelf_round_trip(self, nat_distilled, tmp_path):
+        from repro.service.store import ResultStore
+
+        _nf, signature_set = nat_distilled
+        store = ResultStore(tmp_path)
+        key = store.put_signatures(signature_set)
+        assert key == signature_set.store_key()
+        assert store.signature_keys() == [key]
+        assert store.keys() == []  # the sig shelf never pollutes results
+        restored = store.get_signatures(key)
+        assert restored is not None
+        assert restored.content_hash() == signature_set.content_hash()
+        assert store.get_signatures("0" * 64) is None
+
+
+# -- soundness (property-based) ------------------------------------------------
+
+#: Per-(nf, label) calibration state, built once — PrimedReplay priming and
+#: pool mining are far too slow to repeat per hypothesis example.
+_CALIBRATION_CACHE: dict = {}
+
+
+def _calibration_state(nf, signature: AdversarialSignature):
+    key = (nf.name, signature.label)
+    if key in _CALIBRATION_CACHE:
+        return _CALIBRATION_CACHE[key]
+    rng = random.Random(1234)
+    priming = set(signature.priming_flows)
+
+    matching: list[tuple] = []
+
+    def accept(flow):
+        if flow not in priming and signature.matches(flow_fields(flow)):
+            matching.append(flow)
+
+    if HAVE_NUMPY:
+        shim = SimpleNamespace(predicate=signature.predicate)
+        _mine_matching_columns(
+            nf, shim, accept, lambda: 8 - len(matching), rng, batches=24
+        )
+    # Scalar top-up / numpy-free path: scan the traffic class directly.
+    for fields in random_flow_fields(nf, 20_000, rng):
+        if len(matching) >= 8:
+            break
+        accept(_flow_of(fields))
+
+    background: list[tuple] = []
+    for fields in random_flow_fields(nf, 50_000, rng):
+        flow = _flow_of(fields)
+        if flow in priming or signature.matches(fields):
+            continue
+        background.append(flow)
+        if len(background) >= 32:
+            break
+
+    state = (PrimedReplay(nf, signature.priming_flows), matching, background)
+    _CALIBRATION_CACHE[key] = state
+    return state
+
+
+@given(data=st.data())
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_signature_soundness(distilled, data):
+    """The published claim, held per signature on the primed NF:
+
+    matching packet  -> replay cost >= threshold_cycles
+    background packet -> replay cost <  threshold_cycles
+    """
+    nf, _config, _result, signature_set = distilled
+    if not signature_set.signatures:
+        pytest.skip(f"{nf.name}: no calibrated signature at smoke scale")
+    signature = data.draw(st.sampled_from(signature_set.signatures))
+    replay, matching, background = _calibration_state(nf, signature)
+
+    if matching:
+        flow = data.draw(st.sampled_from(matching))
+        cost = replay.probe_cost(flow)
+        assert cost >= signature.threshold_cycles, (
+            f"{nf.name} [{signature.label}]: matching flow {flow} cost {cost} "
+            f"< threshold {signature.threshold_cycles}"
+        )
+    assert background, f"{nf.name} [{signature.label}]: no background flows mined"
+    flow = data.draw(st.sampled_from(background))
+    cost = replay.probe_cost(flow)
+    assert cost < signature.threshold_cycles, (
+        f"{nf.name} [{signature.label}]: background flow {flow} cost {cost} "
+        f">= threshold {signature.threshold_cycles}"
+    )
+
+
+def test_thresholds_separate_calibration_costs(distilled):
+    """The stored calibration numbers themselves must bracket the threshold."""
+    nf, _config, _result, signature_set = distilled
+    if not signature_set.signatures:
+        pytest.skip(f"{nf.name}: no calibrated signature at smoke scale")
+    for signature in signature_set:
+        assert signature.baseline_cycles < signature.threshold_cycles
+        assert signature.threshold_cycles <= signature.matching_cycles
+        assert signature.priming_flows  # the claim is about a primed NF
+
+
+# -- tier identity (differential) ---------------------------------------------
+
+_FIELD_MAX = {
+    "src_ip": 2**32 - 1,
+    "dst_ip": 2**32 - 1,
+    "src_port": 2**16 - 1,
+    "dst_port": 2**16 - 1,
+    "protocol": 2**8 - 1,
+}
+
+_batch_strategy = st.lists(
+    st.fixed_dictionaries(
+        {name: st.integers(0, _FIELD_MAX[name]) for name in FIELD_ORDER}
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _assert_tiers_agree(signatures, fields):
+    from repro.scoring.scorer import score_batch_columns
+
+    scalar = score_batch_fields(signatures, fields)
+    columns = fields_to_columns(fields)
+    vector = score_batch_columns(signatures, columns)
+    assert verdict_bytes(vector) == verdict_bytes(scalar)
+    return scalar
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector tier needs numpy")
+class TestTierIdentity:
+    @given(fields=_batch_strategy)
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_hypothesis_batches(self, nat_distilled, fields):
+        _nf, signature_set = nat_distilled
+        _assert_tiers_agree(signature_set.signatures, fields)
+
+    def test_pcap_batches(self, nat_distilled):
+        nf, signature_set = nat_distilled
+        # A capture mixing known-matching flows (the signatures' own
+        # priming workloads) with in-class noise, so both verdict outcomes
+        # are exercised; batch size 7 forces ragged batch boundaries.
+        rng = random.Random(5)
+        flows = [f for s in signature_set for f in s.priming_flows[:20]]
+        flows += [_flow_of(f) for f in random_flow_fields(nf, 50, rng)]
+        packets = [make_udp_packet(*flow[:4]) for flow in flows]
+        blob = packets_to_pcap_bytes(packets)
+
+        import io
+
+        total_matched = 0
+        for batch in iter_pcap_batches(io.BytesIO(blob), batch_size=7):
+            fields = packets_to_fields(batch)
+            masks = _assert_tiers_agree(signature_set.signatures, fields)
+            total_matched += sum(1 for mask in masks if mask)
+        assert total_matched > 0  # the capture must exercise the match path
+
+    @pytest.mark.parametrize("size", [0, 1, 7, 8, 9])
+    def test_boundary_sizes(self, nat_distilled, size):
+        nf, signature_set = nat_distilled
+        rng = random.Random(size)
+        fields = random_flow_fields(nf, size, rng)
+        _assert_tiers_agree(signature_set.signatures, fields)
+
+    def test_stream_scorer_tier_equality(self, nat_distilled):
+        """Column-fed and field-fed scorers report identical windows."""
+        nf, signature_set = nat_distilled
+        rng = random.Random(9)
+        fields = random_flow_fields(nf, 64, rng)
+        # Seed guaranteed matches so windows carry offenders.
+        for index, flow in enumerate(signature_set.signatures[0].priming_flows[:6]):
+            fields[index * 10] = flow_fields(flow)
+
+        def run(feeder):
+            scorer = StreamScorer(
+                signature_set.signatures, window_size=10, top_k=3
+            )
+            windows = []
+            for start in range(0, len(fields), 8):  # 8 straddles the window
+                windows.extend(scorer.feed(feeder(fields[start : start + 8])))
+            trailing = scorer.finish()
+            if trailing is not None:
+                windows.append(trailing)
+            return [w.to_dict() for w in windows], scorer.summary()
+
+        scalar_windows, scalar_summary = run(lambda batch: batch)
+        vector_windows, vector_summary = run(fields_to_columns)
+        assert vector_windows == scalar_windows
+        assert vector_summary == scalar_summary
+        assert scalar_summary["matched"] > 0
+
+
+# -- scorer plumbing -----------------------------------------------------------
+
+
+class TestScorerPlumbing:
+    def test_max_signatures_enforced(self):
+        pred = make_cmp(CmpKind.EQ, field_sym("dst_port"), Const(1))
+        sigs = [
+            AdversarialSignature(
+                nf_name="x", kind="field-cluster", label=f"s{i}",
+                predicate=pred, threshold_cycles=1,
+            )
+            for i in range(65)
+        ]
+        with pytest.raises(ValueError, match="at most 64"):
+            StreamScorer(sigs)
+
+    def test_env_knobs_validated(self, monkeypatch):
+        from repro.scoring.scorer import ScorerOptions
+
+        monkeypatch.setenv("REPRO_SCORE_BATCH", "4096")
+        monkeypatch.setenv("REPRO_SCORE_WINDOW", "123")
+        monkeypatch.setenv("REPRO_SCORE_TOPK", "2")
+        options = ScorerOptions()
+        assert (options.batch_size, options.window_size, options.top_k) == (
+            4096, 123, 2,
+        )
+        monkeypatch.setenv("REPRO_SCORE_WINDOW", "0")
+        with pytest.raises(ValueError, match="REPRO_SCORE_WINDOW"):
+            ScorerOptions()
+        monkeypatch.setenv("REPRO_SCORE_WINDOW", "many")
+        with pytest.raises(ValueError, match="REPRO_SCORE_WINDOW"):
+            ScorerOptions()
+
+    def test_iter_pcap_batches_rejects_bad_batch_size(self):
+        import io
+
+        blob = packets_to_pcap_bytes([make_udp_packet(1, 2, 3, 4)])
+        with pytest.raises(ValueError):
+            list(iter_pcap_batches(io.BytesIO(blob), batch_size=0))
+
+    def test_verdict_bytes_list_rendering(self):
+        assert verdict_bytes([1, 0, 2**63]) == (
+            b"\x01" + b"\x00" * 7 + b"\x00" * 8 + b"\x00" * 7 + b"\x80"
+        )
+        assert verdict_bytes([]) == b""

@@ -206,6 +206,120 @@ def test_cancel_settles_a_queued_job(server):
     assert server.client.wait(first["job_id"], timeout=120)["state"] == "done"
 
 
+# -- score jobs ---------------------------------------------------------------
+
+
+def test_score_job_end_to_end(server):
+    """POST /score runs analyze -> distill -> stream windows -> summary."""
+    job = server.client.score(
+        "nat-hash-table",
+        {"synthetic": 5000, "seed": 1},
+        config=SMOKE_CONFIG,
+        num_packets=SMOKE_PACKETS,
+        options={"window_size": 2000, "top_k": 3},
+    )
+    assert job["kind"] == "score"
+    assert job["state"] in ("queued", "running")
+
+    events = list(server.client.stream(job["job_id"]))
+    kinds = [event["event"] for event in events]
+    assert kinds[-1] == "end"
+    assert "signatures" in kinds
+    assert kinds.count("window") >= 2  # 5000 packets / 2000-packet windows
+
+    signatures = next(e for e in events if e["event"] == "signatures")["signatures"]
+    assert signatures["nf"] == "nat-hash-table"
+    assert signatures["count"] >= 1
+
+    final = events[-1]["job"]
+    assert final["state"] == "done"
+    summary = final["result"]
+    assert summary["packets"] == 5000
+    assert summary["windows"] >= 2
+    assert [s["label"] for s in summary["signatures"]]
+
+    # The distilled set landed on the store's signature shelf.
+    assert len(server.client.signature_keys()) >= 1
+
+
+def test_score_submission_validation_is_eager(server):
+    with pytest.raises(ServiceError) as err:
+        server.client.score(NF, {})  # no traffic source at all
+    assert err.value.status == 400
+
+    with pytest.raises(ServiceError) as err:
+        server.client.score(NF, {"synthetic": 100}, options={"bogus_knob": 1})
+    assert err.value.status == 400
+    assert "bogus_knob" in err.value.message
+
+    with pytest.raises(ServiceError) as err:
+        server.client.score(NF, {"pcap_b64": "!!! not base64 !!!"})
+    assert err.value.status == 400
+
+
+# -- client transport errors --------------------------------------------------
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_client_surfaces_connection_refused_as_status_zero():
+    """No server at all -> ServiceError(status=0), never a raw OSError."""
+    client = ServiceClient(port=_free_port(), timeout=2.0)
+    with pytest.raises(ServiceError) as err:
+        client.health()
+    assert err.value.status == 0
+    assert "cannot reach service" in err.value.message
+
+    with pytest.raises(ServiceError) as err:
+        list(client.stream("job-1"))
+    assert err.value.status == 0
+    assert "cannot reach service" in err.value.message
+
+
+def test_client_detects_mid_stream_eof():
+    """A stream cut before its terminal event raises instead of ending
+    silently — a consumer must never mistake a truncated stream for a
+    finished job."""
+    import socket
+
+    server_sock = socket.socket()
+    server_sock.bind(("127.0.0.1", 0))
+    server_sock.listen(1)
+    port = server_sock.getsockname()[1]
+
+    def serve_one_truncated_stream() -> None:
+        conn, _ = server_sock.accept()
+        with conn:
+            conn.recv(65536)  # the GET /jobs/job-1/stream request
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n\r\n"
+                b'{"event": "status", "job": {"state": "running"}}\n'
+            )
+            # ... and the connection dies with no "end" event.
+
+    thread = threading.Thread(target=serve_one_truncated_stream, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(port=port, timeout=5.0)
+        seen = []
+        with pytest.raises(ServiceError) as err:
+            for event in client.stream("job-1"):
+                seen.append(event["event"])
+        assert err.value.status == 0
+        assert "before its terminal event" in err.value.message
+        assert seen == ["status"]  # the pre-cut events still arrived
+    finally:
+        thread.join(timeout=5)
+        server_sock.close()
+
+
 # -- worker leases ------------------------------------------------------------
 
 
@@ -250,4 +364,46 @@ def test_lease_revoke_kills_the_worker():
     lease = WorkerLease(process, job_timeout=None, lease_timeout=None)
     assert lease.alive()
     lease.revoke(grace_seconds=0.5)
+    assert not lease.alive()
+
+
+def _stubborn_worker(ready) -> None:
+    import signal
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    ready.set()  # handler installed; revoke may now race us safely
+    while True:
+        time.sleep(60)
+
+
+def test_lease_revoke_escalates_to_kill_when_terminate_is_ignored():
+    """A worker that shrugs off SIGTERM still dies — by SIGKILL, after the
+    grace period."""
+    import signal
+
+    context = make_context()
+    ready = context.Event()
+    process = context.Process(target=_stubborn_worker, args=(ready,), daemon=True)
+    process.start()
+    try:
+        assert ready.wait(20), "stubborn worker never reported ready"
+        lease = WorkerLease(process, job_timeout=None, lease_timeout=None)
+        start = time.monotonic()
+        lease.revoke(grace_seconds=0.5)
+        elapsed = time.monotonic() - start
+        assert not lease.alive()
+        assert elapsed >= 0.4  # terminate was ignored for the full grace window
+        assert process.exitcode == -signal.SIGKILL
+    finally:
+        if process.is_alive():  # pragma: no cover - only on assertion failure
+            process.kill()
+        process.join()
+
+
+def test_lease_revoke_of_a_dead_worker_is_idempotent():
+    process = _make_sleeper()
+    process.kill()
+    process.join()
+    lease = WorkerLease(process, job_timeout=None, lease_timeout=None)
+    lease.revoke()  # must not raise on an already-reaped worker
     assert not lease.alive()
