@@ -15,6 +15,13 @@ history is visible in-repo.  Regenerate / extend with::
     PYTHONPATH=src python benchmarks/bench_symbex_perf.py \
         --out BENCH_symbex.json --label pr5-compiled-engine
 
+``--compact`` replaces each NF record's full ``packet_flows`` list with a
+sha256 ``packet_flows_digest`` (the identity contract is unchanged — later
+revisions must reproduce the digest instead of the list), keeping the
+trajectory file small as entries accumulate.  Entries written this way
+carry ``"compact": true``; the gate below works with either layout, since
+it only aggregates wall time and states explored.
+
 Gate a change against the committed baseline (used by the ``perf-smoke``
 CI step; compares aggregate states/sec over the NFs both runs share)::
 
@@ -34,6 +41,7 @@ comparable across machines and revisions.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -194,12 +202,21 @@ def run_benchmark(
     max_states: int | None = None,
     exec_mode: str = "compiled",
     label: str | None = None,
+    compact: bool = False,
 ) -> dict:
     """One trajectory entry: per-NF records plus aggregate states/sec."""
     max_states = max_states if max_states is not None else _max_states()
     records = []
     for name in nfs:
         record = bench_nf(name, max_states, exec_mode=exec_mode)
+        if compact:
+            # Same identity contract, two orders of magnitude smaller: the
+            # flows digest must stay byte-stable across revisions exactly
+            # like the full list it replaces.
+            flows = record.pop("packet_flows")
+            record["packet_flows_digest"] = hashlib.sha256(
+                json.dumps(flows, separators=(",", ":")).encode()
+            ).hexdigest()
         records.append(record)
         print(
             f"{name:>20}: {record['wall_seconds']:8.2f}s  "
@@ -224,6 +241,7 @@ def run_benchmark(
         "scale": os.environ.get("REPRO_EVAL_SCALE", "quick").lower(),
         "max_states": max_states,
         "exec_mode": exec_mode,
+        "compact": compact,
         "machine_calibration": calibrate_machine(),
         "nfs": records,
         "totals": totals,
@@ -390,6 +408,11 @@ def main(argv: list[str] | None = None) -> int:
         "at this path; exits 1 on a regression beyond --min-ratio",
     )
     parser.add_argument(
+        "--compact", action="store_true",
+        help="store a sha256 digest of each NF's packet flows instead of the "
+        "full list (smaller trajectory entries, same identity contract)",
+    )
+    parser.add_argument(
         "--min-ratio", type=float, default=0.75,
         help="minimum current/baseline aggregate states/sec ratio (default "
         "0.75: fail on a >25%% drop)",
@@ -402,7 +425,9 @@ def main(argv: list[str] | None = None) -> int:
         nfs = BENCH_NFS
     else:
         nfs = tuple(EVALUATION_NF_NAMES)
-    entry = run_benchmark(nfs, args.max_states, exec_mode=args.exec_mode, label=args.label)
+    entry = run_benchmark(
+        nfs, args.max_states, exec_mode=args.exec_mode, label=args.label, compact=args.compact
+    )
 
     status = 0
     if args.check:

@@ -43,13 +43,14 @@ from repro.symbex.expr import (
     expr_eq,
     expr_ne,
     expr_not,
+    lockstep_evaluate,
     make_binop,
     make_cmp,
     make_select,
     symbols_of,
 )
 from repro.symbex.havoc import HavocRecord
-from repro.symbex.incremental import SolverContext
+from repro.symbex.incremental import CONTEXT_STATS, SolverContext
 from repro.symbex.searcher import Searcher
 from repro.symbex.solver import Solver
 from repro.symbex.state import ExecutionState, Frame, ShadowAssignment, StateStatus
@@ -105,6 +106,13 @@ class SymbexStats:
     forks: int = 0
     infeasible_states: int = 0
     error_states: int = 0
+    # Group branch resolution (vector tier, branch_batching): distinct
+    # feasibility classes queried, class-verdict fan-outs saved, and branch
+    # conditions whose shadow verdict came from a columnar lockstep pass.
+    # Always zero in interp/compiled mode and with batching off.
+    group_queries: int = 0
+    group_dedup_hits: int = 0
+    column_branch_resolutions: int = 0
     completed_states: list[ExecutionState] = field(default_factory=list)
     pending_states: list[ExecutionState] = field(default_factory=list)
     paused_states: list[ExecutionState] = field(default_factory=list)
@@ -127,6 +135,9 @@ class SymbexStats:
         self.forks += round_stats.forks
         self.infeasible_states += round_stats.infeasible_states
         self.error_states += round_stats.error_states
+        self.group_queries += round_stats.group_queries
+        self.group_dedup_hits += round_stats.group_dedup_hits
+        self.column_branch_resolutions += round_stats.column_branch_resolutions
         self.completed_states.extend(round_stats.completed_states)
 
 
@@ -147,6 +158,7 @@ class SymbolicEngine:
         max_loop_iterations: int = 256,
         exec_mode: str = "compiled",
         stage_entries: dict[str, str] | None = None,
+        branch_batching: bool = True,
     ) -> None:
         self.module = module
         self.entry = entry
@@ -172,6 +184,9 @@ class SymbolicEngine:
         if exec_mode not in EXEC_MODES:
             raise ValueError(f"unknown exec_mode {exec_mode!r}; options: {EXEC_MODES}")
         self.exec_mode = exec_mode
+        # Vector tier only: group-level branch resolution (columnar shadow
+        # verdicts + feasibility dedup).  Off switch for A/B digest checks.
+        self.branch_batching = bool(branch_batching)
 
         self._entry_function = module.get_function(entry)
         if packet_args and len(self._entry_function.params) != len(packet_args[0]):
@@ -206,7 +221,11 @@ class SymbolicEngine:
 
             if vexec.numpy_available():
                 self._vex = vexec.VectorExecutor(
-                    self._blocks, self.module, self.cycle_costs
+                    self._blocks,
+                    self.module,
+                    self.cycle_costs,
+                    engine=self,
+                    branch_batching=self.branch_batching,
                 )
             else:
                 # Graceful degradation: identical outputs on the compiled
@@ -215,6 +234,10 @@ class SymbolicEngine:
         # Access-matrix handoff from a vector memory buffer to the next
         # compiled memory step of the same state (see execute_until_fork).
         self._mem_hints: tuple | None = None
+        # Group-resolved branch verdicts handed off by an applied vector
+        # buffer: (state, cond, (feasible_true, feasible_false)), consumed
+        # at most once by _execute_branch for exactly that state and cond.
+        self._branch_hints: tuple | None = None
         # expr -> bool under the run-wide concolic shadow.  Valid because
         # the shadow is seeded once from the packet defaults and never
         # mutated (states only flip their own shadow_valid bit).
@@ -228,6 +251,7 @@ class SymbolicEngine:
         state["_shadow"] = None
         state["_vex"] = None
         state["_mem_hints"] = None
+        state["_branch_hints"] = None
         state["_shadow_eval_memo"] = {}
         return state
 
@@ -301,6 +325,14 @@ class SymbolicEngine:
         self._stats = stats
         self._pause_at_packet = stop_at_packet
         start = time.monotonic()
+        # Group-resolution counters live on the process-global CONTEXT_STATS
+        # (they are bumped from the vector executor); snapshot so this run's
+        # delta lands in its own SymbexStats.
+        group_base = (
+            CONTEXT_STATS.group_queries,
+            CONTEXT_STATS.group_dedup_hits,
+            CONTEXT_STATS.column_branch_resolutions,
+        )
 
         if initial_states is None:
             initial_states = [self.make_initial_state()]
@@ -353,6 +385,11 @@ class SymbolicEngine:
             stats.pending_states = _drain_best_pending(searcher, max_pending_report)
         finally:
             stats.wall_time_seconds = time.monotonic() - start
+            stats.group_queries = CONTEXT_STATS.group_queries - group_base[0]
+            stats.group_dedup_hits = CONTEXT_STATS.group_dedup_hits - group_base[1]
+            stats.column_branch_resolutions = (
+                CONTEXT_STATS.column_branch_resolutions - group_base[2]
+            )
             self._stats = None
             self._pause_at_packet = None
         return stats
@@ -376,6 +413,7 @@ class SymbolicEngine:
         vex = self._vex
         if vex is not None:
             self._mem_hints = None
+            self._branch_hints = None
             executed, mem_row = vex.apply(self, state, max_instructions)
             if mem_row is not None:
                 self._mem_hints = (state, mem_row)
@@ -472,6 +510,43 @@ class SymbolicEngine:
             result = bool(ev(self._shadow))
             memo[expr] = result
         return result
+
+    def _shadow_eval_group(self, conds: list[Expr]) -> dict[Expr, bool]:
+        """Shadow verdicts for a whole group of branch conditions at once.
+
+        Cache-consistent with :meth:`_shadow_eval`: memo hits are reused,
+        misses are evaluated as one lockstep columnar pass over the shared
+        shadow (exact by construction, see
+        :func:`repro.symbex.expr.lockstep_evaluate`) and inserted into the
+        same memo; conditions whose shapes diverge fall back to the scalar
+        path one by one.
+        """
+        memo = self._shadow_eval_memo
+        verdicts: dict[Expr, bool] = {}
+        missing: list[Expr] = []
+        for cond in conds:
+            if cond in verdicts:
+                continue
+            cached = memo.get(cond)
+            if cached is not None:
+                verdicts[cond] = cached
+            else:
+                verdicts[cond] = False  # placeholder: dedupes repeats below
+                missing.append(cond)
+        if len(missing) >= 2:
+            values = lockstep_evaluate(missing, self._shadow)
+            if values is not None:
+                CONTEXT_STATS.column_branch_resolutions += len(missing)
+                for cond, value in zip(missing, values):
+                    result = bool(value)
+                    if len(memo) >= _SHADOW_MEMO_LIMIT:
+                        memo.clear()
+                    memo[cond] = result
+                    verdicts[cond] = result
+                missing = []
+        for cond in missing:
+            verdicts[cond] = self._shadow_eval(cond)
+        return verdicts
 
     def _memory_query_fns(self, state: ExecutionState):
         """The (feasible, solve_value) callbacks handed to the cache model.
@@ -786,25 +861,41 @@ class SymbolicEngine:
         false_constraint = expr_not(true_constraint)
         context = state.solver_context
 
-        def query(constraint: Expr) -> bool:
-            if context is not None:
-                return context.feasible_with(constraint)
-            return self.solver.quick_feasible(state.constraints + [constraint])
+        verdicts = None
+        hint = self._branch_hints
+        if hint is not None and hint[0] is state:
+            # Group branch resolution (vector tier): the verdict pair was
+            # computed for this exact state when its group buffered, and the
+            # constraint chain cannot have changed since (the state was
+            # parked).  Consumed at most once, and only when it describes
+            # exactly this condition.
+            self._branch_hints = None
+            if hint[1] is cond:
+                verdicts = hint[2]
 
-        if state.shadow_valid:
-            # Concolic fast path: the shadow satisfies the whole path, so
-            # whichever side it takes is satisfiable — and the optimistic
-            # feasibility check returns True on every satisfiable side.
-            # Only the other side needs a solver query.
-            if self._shadow_eval(cond):
-                feasible_true = True
-                feasible_false = query(false_constraint)
-            else:
-                feasible_false = True
-                feasible_true = query(true_constraint)
+        if verdicts is not None:
+            feasible_true, feasible_false = verdicts
         else:
-            feasible_true = query(true_constraint)
-            feasible_false = query(false_constraint)
+
+            def query(constraint: Expr) -> bool:
+                if context is not None:
+                    return context.feasible_with(constraint)
+                return self.solver.quick_feasible(state.constraints + [constraint])
+
+            if state.shadow_valid:
+                # Concolic fast path: the shadow satisfies the whole path, so
+                # whichever side it takes is satisfiable — and the optimistic
+                # feasibility check returns True on every satisfiable side.
+                # Only the other side needs a solver query.
+                if self._shadow_eval(cond):
+                    feasible_true = True
+                    feasible_false = query(false_constraint)
+                else:
+                    feasible_false = True
+                    feasible_true = query(true_constraint)
+            else:
+                feasible_true = query(true_constraint)
+                feasible_false = query(false_constraint)
 
         is_loop_head = frame.block.startswith(_LOOP_HEAD_PREFIXES)
         if is_loop_head:

@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.symbex.expr import Const, Expr, Sym, evaluate, expr_eq
+from repro.symbex.expr import BinExpr, BinOpKind, Const, Expr, Sym, evaluate, expr_eq, reduce_expr
+from repro.symbex.incremental import replay_context
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.hashing.rainbow import RainbowTable
@@ -64,6 +65,63 @@ class ReconciliationOutcome:
         return len(self.reconciled) / self.total if self.total else 1.0
 
 
+#: Sentinel returned by :func:`_decompose_key_pin` when the pin is
+#: unsatisfiable on its own (candidate bits outside every field).
+_PIN_CONFLICT = object()
+
+
+def _decompose_key_pin(key_expr: Expr, value: int) -> "dict[str, int] | None | object":
+    """Solve ``key_expr == value`` exactly when the key packs disjoint fields.
+
+    Flow keys are built as ORs of non-overlapping shifted symbols (plus
+    constant tag bits), so the equation has at most one solution: each
+    field must equal its slice of ``value``.  Returns that unique
+    ``{symbol name: field value}`` assignment, ``_PIN_CONFLICT`` when the
+    bits of ``value`` outside the symbol fields differ from the constant
+    contribution (no assignment can satisfy the pin), or ``None`` when the
+    expression does not have the disjoint-OR shape (no claim made).
+    """
+    terms: list[Expr] = []
+    stack = [key_expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinExpr) and node.op is BinOpKind.OR:
+            stack.append(node.lhs)
+            stack.append(node.rhs)
+        else:
+            terms.append(node)
+    fields: dict[str, int] = {}
+    covered = 0
+    const_bits = 0
+    for term in terms:
+        if isinstance(term, Const):
+            if term.value & covered:
+                return None
+            const_bits |= term.value
+            continue
+        if isinstance(term, Sym):
+            sym, shift = term, 0
+        elif (
+            isinstance(term, BinExpr)
+            and term.op is BinOpKind.SHL
+            and isinstance(term.lhs, Sym)
+            and isinstance(term.rhs, Const)
+        ):
+            sym, shift = term.lhs, term.rhs.value
+        else:
+            return None
+        mask = sym.mask << shift
+        if mask & (covered | const_bits):
+            return None
+        if sym.name in fields:
+            return None
+        covered |= mask
+        fields[sym.name] = (value >> shift) & sym.mask
+    if (value & ~covered) != const_bits:
+        return _PIN_CONFLICT
+    return fields
+
+
 def reconcile_havocs(
     records: list[HavocRecord],
     constraints: list[Expr],
@@ -86,6 +144,15 @@ def reconcile_havocs(
     """
     outcome = ReconciliationOutcome(model=model.copy())
     working_constraints = list(constraints)
+    # Candidate pretest state: the incremental context's propagated fixpoint
+    # pins symbols the path constraints fully determine, and ``pinned``
+    # accumulates the field values implied by accepted key pins (which plain
+    # propagation cannot extract from a packed equality).  Both are *implied*
+    # facts, so any candidate contradicting them is definitely infeasible —
+    # the full check below would come back non-sat — and can be skipped
+    # without changing which candidate gets accepted or what model it yields.
+    context = replay_context(solver, working_constraints)
+    pinned: dict[str, int] = dict(context.pinned_assignment())
 
     for record in records:
         table = rainbow_tables.get(record.hash_function)
@@ -103,6 +170,25 @@ def reconcile_havocs(
             if actual_hash != desired_hash:
                 # Rainbow chains can produce false positives; skip them.
                 continue
+            fields = _decompose_key_pin(record.key_expr, candidate_key)
+            if fields is _PIN_CONFLICT:
+                # The pin alone is unsatisfiable; the solver would agree.
+                continue
+            if isinstance(fields, dict):
+                if any(pinned.get(name, value) != value for name, value in fields.items()):
+                    continue  # contradicts an implied pin: definitely infeasible
+                trial_assignment = dict(pinned)
+                trial_assignment.update(fields)
+                trial_assignment[record.symbol.name] = desired_hash
+                # A constraint that reduces to literal false under the implied
+                # assignment is violated in every model of the trial set.
+                if any(
+                    isinstance(r, Const) and r.value == 0
+                    for r in (
+                        reduce_expr(c, trial_assignment) for c in working_constraints
+                    )
+                ):
+                    continue
             trial_constraints = working_constraints + [
                 expr_eq(record.key_expr, Const(candidate_key)),
                 expr_eq(record.symbol, Const(desired_hash)),
@@ -113,6 +199,12 @@ def reconcile_havocs(
                 outcome.model = result.model
                 outcome.reconciled.append(record)
                 reconciled = True
+                context.add(trial_constraints[-2])
+                context.add(trial_constraints[-1])
+                pinned.update(context.pinned_assignment())
+                if isinstance(fields, dict):
+                    pinned.update(fields)
+                pinned[record.symbol.name] = desired_hash
                 break
         if not reconciled:
             outcome.failed.append(record)

@@ -52,9 +52,33 @@ _MEMO_LIMIT = 1 << 17
 
 
 class _ContextStats:
-    """Process-global counters for benchmarks and regression tracking."""
+    """Process-global counters for benchmarks and regression tracking.
 
-    __slots__ = ("queries", "memo_hits", "adds", "forks", "slow_path_checks", "fast_path_values")
+    The group counters surface the vector tier's cross-lane solver batching
+    (``repro.symbex.vexec``): ``group_queries`` counts distinct
+    (fingerprint, extra) feasibility classes answered at group time,
+    ``group_dedup_hits`` counts member lanes whose verdict was fanned out
+    from a class representative without a query of their own, and
+    ``column_branch_resolutions`` counts lanes whose concolic branch
+    verdict came from one columnar numpy pass instead of a scalar
+    evaluation.  ``wave_replays`` and ``check_memo_hits`` count committed
+    propagation waves / full model searches answered by replaying recorded
+    work (see ``_ADD_PLAN_MEMO`` / ``_CHECK_MEMO``).
+    """
+
+    __slots__ = (
+        "queries",
+        "memo_hits",
+        "adds",
+        "forks",
+        "slow_path_checks",
+        "fast_path_values",
+        "group_queries",
+        "group_dedup_hits",
+        "column_branch_resolutions",
+        "wave_replays",
+        "check_memo_hits",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -66,6 +90,11 @@ class _ContextStats:
         self.forks = 0
         self.slow_path_checks = 0
         self.fast_path_values = 0
+        self.group_queries = 0
+        self.group_dedup_hits = 0
+        self.column_branch_resolutions = 0
+        self.wave_replays = 0
+        self.check_memo_hits = 0
 
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -88,6 +117,27 @@ _set_id_counter = itertools.count(1)
 _FEASIBLE_MEMO: dict[tuple[int, int], bool] = {}
 _VALUE_MEMO: dict[tuple, "int | None"] = {}
 
+#: Recorded propagation waves: (fingerprint, id(reduced extra)) -> the
+#: committed-state delta a successful wave produced (new assignment entries,
+#: post-wave domain objects for every touched symbol, and the post-wave
+#: pending list).  ``feasible_with`` records the plan while answering a
+#: query on scratch domains; ``add`` replays it when the *same* constraint
+#: is then committed on a context with the *same* fingerprint, skipping the
+#: whole wave.  Forked siblings that split the same way share one plan —
+#: this is the "batch fork bookkeeping" half of cross-lane solver batching.
+#: Sound because waves are deterministic functions of (fingerprint-identified
+#: committed state, reduced constraint): the recorded delta is byte-for-byte
+#: what the replayed wave would have computed.  Replayed domain objects are
+#: installed unowned (copy-on-write), so sharing them across contexts is safe.
+_ADD_PLAN_MEMO: dict[tuple[int, int], tuple[dict[str, int], dict[str, _Domain], tuple[Expr, ...]]] = {}
+
+#: Full model searches memoised by (solver uid, fingerprint, defaults):
+#: ``Solver.check`` is a pure deterministic function of its constraint list,
+#: defaults and the solver's own (budget, seed) — captured by ``uid`` — so
+#: two contexts with the same fingerprint get the identical SolverResult.
+#: Results are shared; callers must treat them as read-only (they do).
+_CHECK_MEMO: dict[tuple, SolverResult] = {}
+
 
 def _extend_set_id(parent: int, constraint: Expr) -> int:
     key = (parent, id(constraint))
@@ -108,6 +158,8 @@ def clear_incremental_caches() -> None:
     _SET_IDS.clear()
     _FEASIBLE_MEMO.clear()
     _VALUE_MEMO.clear()
+    _ADD_PLAN_MEMO.clear()
+    _CHECK_MEMO.clear()
 
 
 # The fingerprint/memo tables key on id() of interned expressions, so they
@@ -304,6 +356,15 @@ class SolverContext:
         CONTEXT_STATS.queries += 1
         if self.unsat:
             return False
+        # Two-level memo: probe on the raw (pre-reduction) expression first —
+        # a hit skips reduce_expr entirely.  The raw key is well-defined
+        # because equal fingerprints imply equal committed assignments, so
+        # the raw expression reduces identically on every hitting context.
+        raw_key = (self._set_id, id(extra))
+        cached = _FEASIBLE_MEMO.get(raw_key)
+        if cached is not None:
+            CONTEXT_STATS.memo_hits += 1
+            return cached
         extra = reduce_expr(extra, self._assignment)
         if isinstance(extra, Const):
             return extra.value != 0
@@ -311,14 +372,34 @@ class SolverContext:
         cached = _FEASIBLE_MEMO.get(key)
         if cached is not None:
             CONTEXT_STATS.memo_hits += 1
+            if len(_FEASIBLE_MEMO) >= _MEMO_LIMIT:
+                _FEASIBLE_MEMO.clear()
+            _FEASIBLE_MEMO[raw_key] = cached
             return cached
         scratch_assignment = dict(self._assignment)
         scratch_domains = _CowDomains(dict(self._domains), set())
         scratch_pending = list(self._pending)
-        verdict = self._propagate_wave(scratch_assignment, scratch_domains, scratch_pending, [extra])
+        promoted: list[str] = []
+        verdict = self._propagate_wave(
+            scratch_assignment, scratch_domains, scratch_pending, [extra], promoted
+        )
         if len(_FEASIBLE_MEMO) >= _MEMO_LIMIT:
             _FEASIBLE_MEMO.clear()
         _FEASIBLE_MEMO[key] = verdict
+        _FEASIBLE_MEMO[raw_key] = verdict
+        if verdict:
+            # Record the wave's committed-state delta so a later add() of the
+            # same constraint on the same fingerprint replays it for free.
+            # The scratch CoW view started with nothing owned, so every
+            # domain the wave touched was cloned into scratch — those clones
+            # belong exclusively to this record once scratch is discarded.
+            if len(_ADD_PLAN_MEMO) >= _MEMO_LIMIT:
+                _ADD_PLAN_MEMO.clear()
+            _ADD_PLAN_MEMO[key] = (
+                {name: scratch_assignment[name] for name in promoted},
+                {name: scratch_domains.base[name] for name in scratch_domains.owned},
+                tuple(scratch_pending),
+            )
         return verdict
 
     def add(self, constraint: Expr) -> None:
@@ -331,6 +412,7 @@ class SolverContext:
         self._local.append(constraint)
         if self._materialized is not None:
             self._materialized.append(constraint)
+        pre_set_id = self._set_id
         self._set_id = _extend_set_id(self._set_id, constraint)
         if self.unsat:
             return
@@ -338,6 +420,19 @@ class SolverContext:
         if isinstance(reduced, Const):
             if reduced.value == 0:
                 self.unsat = True
+            return
+        plan = _ADD_PLAN_MEMO.get((pre_set_id, id(reduced)))
+        if plan is not None:
+            # A feasibility query already ran this exact wave on an identical
+            # committed state; replay its recorded delta instead of
+            # re-propagating.  Domains install unowned (shared CoW).
+            assignment_delta, domain_delta, pending_after = plan
+            self._assignment.update(assignment_delta)
+            for name, domain in domain_delta.items():
+                self._domains[name] = domain
+                self._owned.discard(name)
+            self._pending[:] = pending_after
+            CONTEXT_STATS.wave_replays += 1
             return
         cow = _CowDomains(self._domains, self._owned)
         if not self._propagate_wave(self._assignment, cow, self._pending, [reduced]):
@@ -381,15 +476,35 @@ class SolverContext:
         return value
 
     def check(self, defaults: dict[str, int] | None = None) -> SolverResult:
-        """Full model search over the committed constraints (slow path)."""
-        CONTEXT_STATS.slow_path_checks += 1
+        """Full model search over the committed constraints (slow path).
+
+        Memoised per (solver uid, fingerprint, defaults): one state
+        concretising several expressions — or forked siblings sharing a
+        fingerprint — run the underlying search once.  The shared result is
+        read-only by contract.
+        """
         if self.unsat:
             return SolverResult(status="unsat", reason="incremental propagation found a contradiction")
-        return self.solver.check(self.constraints(), defaults=defaults)
+        defaults_key = frozenset(defaults.items()) if defaults else None
+        key = (self.solver.uid, self._set_id, defaults_key)
+        cached = _CHECK_MEMO.get(key)
+        if cached is not None:
+            CONTEXT_STATS.check_memo_hits += 1
+            return cached
+        CONTEXT_STATS.slow_path_checks += 1
+        result = self.solver.check(self.constraints(), defaults=defaults)
+        if len(_CHECK_MEMO) >= _MEMO_LIMIT:
+            _CHECK_MEMO.clear()
+        _CHECK_MEMO[key] = result
+        return result
 
     def assignment_of(self, name: str) -> int | None:
         """The pinned value of a symbol, if propagation fully determined it."""
         return self._assignment.get(name)
+
+    def pinned_assignment(self) -> dict[str, int]:
+        """Every symbol propagation has pinned (live dict; treat as read-only)."""
+        return self._assignment
 
     # -- propagation core ------------------------------------------------------
 
@@ -399,6 +514,7 @@ class SolverContext:
         domains: _CowDomains,
         pending: list[Expr],
         new_constraints: Iterable[Expr],
+        promoted: list[str] | None = None,
     ) -> bool:
         """Run constraint propagation to a (bounded) fixpoint.
 
@@ -406,20 +522,35 @@ class SolverContext:
         False when a definite contradiction is found.  Mirrors
         ``Solver._propagate`` but wakes up only on *real* domain change, so
         an already-stable fixpoint costs one pass over the new constraints.
+        When ``promoted`` is given, names newly pinned into ``assignment``
+        are appended to it (wave recording for ``_ADD_PLAN_MEMO``).
         """
         solver = self.solver
         queue = list(pending)
         queue.extend(new_constraints)
+        # Round-0 fixpoint skip: every constraint in ``pending`` was processed
+        # in the previous wave's final no-change round against these exact
+        # domains and this exact assignment, so re-propagating it is a proven
+        # no-op (same reduction -> same plan -> same domain content, and it
+        # cannot be unsat or the previous wave would have failed).  Skipping
+        # the propagator for those entries changes nothing observable; only
+        # the new constraints do real work in round 0.  The skip is guarded
+        # on the reduction being the identical node: anything else falls
+        # through to the full path.
+        stable_prefix = len(pending)
         for _round in range(_MAX_ROUNDS):
             domains.reset_round()
             changed = False
             unresolved: list[Expr] = []
-            for constraint in queue:
+            for index, constraint in enumerate(queue):
                 reduced = reduce_expr(constraint, assignment)
                 if isinstance(reduced, Const):
                     if reduced.value == 0:
                         return False
                     changed = True  # constraint fully resolved: may unblock others
+                    continue
+                if index < stable_prefix and reduced is constraint:
+                    unresolved.append(reduced)
                     continue
                 outcome = solver._propagate_one(reduced, assignment, domains)
                 if outcome == "unsat":
@@ -434,7 +565,10 @@ class SolverContext:
                     if value in domain.exclusions or not (domain.lo <= value <= domain.hi):
                         return False
                     assignment[name] = value
+                    if promoted is not None:
+                        promoted.append(name)
             queue = unresolved
+            stable_prefix = 0
             if not changed:
                 break
         pending[:] = queue

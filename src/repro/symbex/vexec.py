@@ -31,6 +31,19 @@ executor looks at the instruction the group is parked on:
   :meth:`repro.cache.model.CacheModel.on_access_batch` when the lane
   executes, skipping per-access register resolution; accesses that *do*
   depend on earlier loads keep resolving sequentially (exact semantics).
+* a fused run ending at a ``Branch`` (or a group parked directly on one)
+  additionally gets **group branch resolution** (``branch_batching``): the
+  lanes' branch conditions are evaluated under the run-wide concolic shadow
+  as one lockstep columnar pass (:func:`repro.symbex.expr.lockstep_evaluate`
+  — the conditions share their shape, only leaves differ), and the
+  remaining feasibility queries are deduped across *(constraint-chain
+  fingerprint, interned constraint)* classes: equal fingerprints name
+  byte-identical committed solver states, so one representative
+  ``feasible_with`` answers every member of a class.  Each lane's verdict
+  pair rides along in its buffer and is consumed by
+  ``SymbolicEngine._execute_branch`` at execution time — which still owns
+  constraint adding, loop-head forcing and forking, so fork order and
+  constraint order are untouched.
 
 Deferred application — why outputs cannot change
 ------------------------------------------------
@@ -68,7 +81,7 @@ from __future__ import annotations
 import warnings
 from typing import TYPE_CHECKING
 
-from repro.ir.instructions import BinaryOp, Compare, Load, Select, Store
+from repro.ir.instructions import BinaryOp, Branch, Compare, Load, Select, Store
 from repro.symbex.blockc import _operand_plan
 from repro.symbex.expr import (
     BINOP_FUNCS,
@@ -78,10 +91,13 @@ from repro.symbex.expr import (
     VEC_CMP_FUNCS,
     Const,
     _np,
+    expr_ne,
+    expr_not,
     make_binop,
     make_cmp,
     make_select,
 )
+from repro.symbex.incremental import CONTEXT_STATS
 from repro.symbex.state import StateStatus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -146,16 +162,24 @@ class VexStats:
 
 
 class _FusedPlan:
-    """A maximal arithmetic run: op descriptors plus the fused-step totals."""
+    """A maximal arithmetic run: op descriptors plus the fused-step totals.
 
-    __slots__ = ("kind", "ops", "n", "cycles", "next_index")
+    ``branch`` is the operand plan of a ``Branch`` condition sitting right
+    after the run (or *at* the group's program point, with ``n == 0``) when
+    branch batching is on — the trigger for group branch resolution.
+    """
 
-    def __init__(self, ops: tuple, n: int, cycles: int, next_index: int) -> None:
+    __slots__ = ("kind", "ops", "n", "cycles", "next_index", "branch")
+
+    def __init__(
+        self, ops: tuple, n: int, cycles: int, next_index: int, branch: tuple | None = None
+    ) -> None:
         self.kind = "fused"
         self.ops = ops
         self.n = n
         self.cycles = cycles
         self.next_index = next_index
+        self.branch = branch
 
 
 class _MemPlan:
@@ -171,12 +195,15 @@ class _MemPlan:
 _NO_PLAN = object()
 
 
-def _plan_at(blocks, module, key, cycle_costs):
+def _plan_at(blocks, module, key, cycle_costs, branch_batching: bool = False):
     """The group plan for states parked at ``key=(function, block, index)``.
 
     Mirrors ``blockc._compile_block``'s run grouping exactly, so a plan's
     extent always lands on a compiled-step boundary (``next_index`` is a
-    resume point of the compiled block).
+    resume point of the compiled block).  With ``branch_batching`` a fused
+    run that ends at a ``Branch`` carries the branch's condition operand
+    plan, and a group parked directly on a ``Branch`` gets a branch-only
+    plan (``n == 0``: no registers move, no cycles are charged).
     """
     function, block_name, index = key
     block = blocks.get(function, {}).get(block_name)
@@ -213,7 +240,13 @@ def _plan_at(blocks, module, key, cycle_costs):
                 break
             cycles += cycle_costs.instruction_cost(ins)
             i += 1
-        return _FusedPlan(tuple(ops), i - index, cycles, i)
+        branch = None
+        if branch_batching and i < total and isinstance(instructions[i], Branch):
+            branch = _operand_plan(instructions[i].cond)
+        return _FusedPlan(tuple(ops), i - index, cycles, i, branch)
+
+    if branch_batching and isinstance(first, Branch):
+        return _FusedPlan((), 0, 0, index, _operand_plan(first.cond))
 
     if isinstance(first, (Load, Store)):
         slots = []
@@ -245,10 +278,16 @@ def _plan_at(blocks, module, key, cycle_costs):
 class VectorExecutor:
     """Groups frontier states and steps each group once (see module doc)."""
 
-    def __init__(self, blocks, module, cycle_costs) -> None:
+    def __init__(
+        self, blocks, module, cycle_costs, engine=None, branch_batching: bool = True
+    ) -> None:
         self._blocks = blocks
         self._module = module
         self._cycle_costs = cycle_costs
+        # Group branch resolution needs the engine (shadow memo, hint
+        # handoff); without one the executor degrades to plain grouping.
+        self._engine = engine
+        self._branch_batching = bool(branch_batching) and engine is not None
         self._plans: dict = {}
         self.stats = VexStats()
 
@@ -257,7 +296,9 @@ class VectorExecutor:
     def _plan(self, key):
         plan = self._plans.get(key, _NO_PLAN)
         if plan is _NO_PLAN:
-            plan = _plan_at(self._blocks, self._module, key, self._cycle_costs)
+            plan = _plan_at(
+                self._blocks, self._module, key, self._cycle_costs, self._branch_batching
+            )
             self._plans[key] = plan
         return plan
 
@@ -316,12 +357,22 @@ class VectorExecutor:
         try:
             if plan.kind == "fused":
                 overlays = self._compute_fused(plan, lanes)
-                for state, overlay in zip(lanes, overlays):
-                    state.vex_buffer = (key, "fused", overlay, plan)
+                hints = None
+                if plan.branch is not None:
+                    hints = self._resolve_branches(plan, lanes, overlays)
+                if plan.n == 0 and (hints is None or not any(hints)):
+                    # A branch-only group that resolved nothing: buffering
+                    # would be a no-op at apply time, so leave the lanes
+                    # ungrouped (regroup retries them later, as today).
+                    return
+                for state, overlay, hint in zip(
+                    lanes, overlays, hints if hints is not None else (None,) * len(lanes)
+                ):
+                    state.vex_buffer = (key, "fused", overlay, plan, hint)
             else:
                 rows = self._compute_mem(plan, lanes)
                 for state, row in zip(lanes, rows):
-                    state.vex_buffer = (key, "mem", row, None)
+                    state.vex_buffer = (key, "mem", row, None, None)
         except Exception:
             # Any lane failing (undefined register, unknown region) peels
             # the whole group: the normal path re-raises at the exact
@@ -442,6 +493,77 @@ class VectorExecutor:
             )
         return rows
 
+    def _resolve_branches(self, plan, lanes, overlays) -> "list[tuple | None] | None":
+        """Group-level branch resolution: the cross-lane solver batch.
+
+        Shadow verdicts for the whole group come from one lockstep columnar
+        evaluation of the lanes' branch conditions
+        (:meth:`SymbolicEngine._shadow_eval_group`); the remaining
+        feasibility queries are deduped across *(constraint-chain
+        fingerprint, interned constraint)* classes — equal fingerprints name
+        byte-identical committed solver states
+        (:mod:`repro.symbex.incremental`), so one representative
+        ``feasible_with`` call answers every member of the class.  Returns
+        one ``(cond, feasible_true, feasible_false)`` hint per lane (``None``
+        where the lane must resolve at execution time: concrete conditions
+        and context-less lanes).  Sound because a parked lane's constraint
+        chain cannot change between grouping and its pop, so the verdicts
+        computed here are exactly the ones ``_execute_branch`` would compute.
+        """
+        engine = self._engine
+        if engine is None:
+            return None
+        cond_reg, cond_const = plan.branch
+        conds = [
+            _read(overlay, state._frames[-1].registers, cond_reg, cond_const)
+            for state, overlay in zip(lanes, overlays)
+        ]
+        shadow_conds = [
+            cond
+            for state, cond in zip(lanes, conds)
+            if cond.__class__ is not Const
+            and state.shadow_valid
+            and state.solver_context is not None
+        ]
+        shadow_verdicts = engine._shadow_eval_group(shadow_conds) if shadow_conds else {}
+
+        classes: dict[tuple, bool] = {}
+
+        def query(context, constraint) -> bool:
+            key = (context._set_id, id(constraint))
+            verdict = classes.get(key)
+            if verdict is None:
+                verdict = context.feasible_with(constraint)
+                classes[key] = verdict
+                CONTEXT_STATS.group_queries += 1
+            else:
+                CONTEXT_STATS.group_dedup_hits += 1
+            return verdict
+
+        hints: list[tuple | None] = []
+        for state, cond in zip(lanes, conds):
+            context = state.solver_context
+            if cond.__class__ is Const or context is None:
+                hints.append(None)
+                continue
+            true_constraint = expr_ne(cond, Const(0))
+            false_constraint = expr_not(true_constraint)
+            # Mirrors _execute_branch's concolic fast path exactly: the
+            # shadow-satisfied side is feasible by witness, only the other
+            # side needs a (deduped) solver query.
+            if state.shadow_valid:
+                if shadow_verdicts[cond]:
+                    feasible_true = True
+                    feasible_false = query(context, false_constraint)
+                else:
+                    feasible_false = True
+                    feasible_true = query(context, true_constraint)
+            else:
+                feasible_true = query(context, true_constraint)
+                feasible_false = query(context, false_constraint)
+            hints.append((cond, feasible_true, feasible_false))
+        return hints
+
     # -- buffer application --------------------------------------------------
 
     def apply(self, engine: "SymbolicEngine", state: "ExecutionState", max_instructions: int):
@@ -458,7 +580,7 @@ class VectorExecutor:
         if buffer is None:
             return 0, None
         state.vex_buffer = None
-        key, kind, payload, plan = buffer
+        key, kind, payload, plan, hint = buffer
         frames = state._frames
         if not frames:
             self.stats.lanes_peeled += 1
@@ -478,21 +600,27 @@ class VectorExecutor:
             # exactly the right instruction.
             self.stats.lanes_peeled += 1
             return 0, None
-        # Exactly _make_fused_step's effects, with the precomputed delta.
-        if not state._frames_owned[-1]:
-            frame = frame.copy()
-            frames[-1] = frame
-            state._frames_owned[-1] = True
-        if frame.registers_shared:
-            frame.registers = dict(frame.registers)
-            frame.registers_shared = False
-        frame.registers.update(payload)
-        state.current_cost += plan.cycles
-        state.instructions_retired += n
-        stats = engine._stats
-        if stats is not None:
-            stats.instructions_executed += n
-        frame.index = plan.next_index
+        # Exactly _make_fused_step's effects, with the precomputed delta
+        # (a branch-only plan has no delta and moves nothing).
+        if n:
+            if not state._frames_owned[-1]:
+                frame = frame.copy()
+                frames[-1] = frame
+                state._frames_owned[-1] = True
+            if frame.registers_shared:
+                frame.registers = dict(frame.registers)
+                frame.registers_shared = False
+            frame.registers.update(payload)
+            state.current_cost += plan.cycles
+            state.instructions_retired += n
+            stats = engine._stats
+            if stats is not None:
+                stats.instructions_executed += n
+            frame.index = plan.next_index
+        if hint is not None:
+            # Hand the group-resolved branch verdicts to _execute_branch,
+            # which consumes them only for this state and this condition.
+            engine._branch_hints = (state, hint[0], (hint[1], hint[2]))
         self.stats.lanes_applied += 1
         return n, None
 

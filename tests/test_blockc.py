@@ -240,7 +240,7 @@ class TestVectorLanePeeling:
         vex = engine._vex
         assert vex.stats.groups == 1
         assert vex.stats.lanes_buffered == 2
-        _key, kind, overlay, plan = first.vex_buffer
+        _key, kind, overlay, plan, _hint = first.vex_buffer
         assert kind == "fused"
         assert plan.n == 4
         assert overlay  # the precomputed register delta is non-empty
@@ -449,3 +449,166 @@ class TestParallelIdentityAllModes:
             result = Castan(config).analyze(get_nf("lpm-patricia"))
             digests[workers] = (workload_digest(result.packets), result.best_state_cost)
         assert digests[0] == digests[2]
+
+
+@pytest.fixture(scope="module")
+def nobatch_results():
+    """Vector-mode smoke analyses of every evaluation NF, batching OFF."""
+    per_nf = {}
+    for name in EVALUATION_NF_NAMES:
+        config = CastanConfig(exec_mode="vector", branch_batching=False, **SMOKE)
+        per_nf[name] = Castan(config).analyze(get_nf(name))
+    return per_nf
+
+
+class TestBranchBatchingDifferential:
+    """Group branch resolution is output-invariant: vector mode with
+    ``branch_batching=False`` must reproduce the batched run byte-for-byte
+    (and, transitively via :class:`TestExecTierDifferential`, the interp
+    and compiled tiers too)."""
+
+    @pytest.mark.parametrize("name", EVALUATION_NF_NAMES)
+    def test_outputs_identical_with_batching_off(self, mode_results, nobatch_results, name):
+        on = mode_results["vector"][name]
+        off = nobatch_results[name]
+        assert workload_digest(on.packets) == workload_digest(off.packets)
+        assert on.best_state_cost == off.best_state_cost
+        assert on.states_explored == off.states_explored
+        assert on.forks == off.forks
+        assert on.completed_paths == off.completed_paths
+        assert on.solver_status == off.solver_status
+        assert on.metrics == off.metrics
+
+    def test_sharded_beam_identity_across_workers_and_batching(self):
+        """workers 0 vs 2 × batching on/off: all four runs byte-identical."""
+        digests = {}
+        for batching in (True, False):
+            for workers in (0, 2):
+                config = CastanConfig(
+                    max_states=40,
+                    num_packets=3,
+                    deadline_seconds=None,
+                    search_mode="beam",
+                    parallel_mode="shards",
+                    workers=workers,
+                    exec_mode="vector",
+                    branch_batching=batching,
+                )
+                result = Castan(config).analyze(get_nf("nat-hash-table"))
+                digests[(batching, workers)] = (
+                    workload_digest(result.packets),
+                    result.best_state_cost,
+                )
+        assert len(set(digests.values())) == 1, digests
+
+
+class TestGroupBranchResolution:
+    """Unit tests for cross-lane branch batching (dedup classes + hints).
+
+    ``nat-hash-table``'s entry block ends its first fused run at the
+    symbolic protocol check, so two fresh initial states always form one
+    branch-carrying group.
+    """
+
+    def _branch_grouped_pair(self, **engine_kwargs):
+        engine = _make_engine("nat-hash-table", "vector", **engine_kwargs)
+        assert engine._vex is not None
+        first, second = engine.make_initial_state(), engine.make_initial_state()
+        engine._vex.build_buffers([first, second])
+        assert first.vex_buffer is not None and second.vex_buffer is not None
+        return engine, first, second
+
+    def test_fresh_pair_groups_at_branch_with_hints(self):
+        _engine, first, second = self._branch_grouped_pair()
+        for state in (first, second):
+            _key, kind, _overlay, plan, hint = state.vex_buffer
+            assert kind == "fused"
+            assert plan.branch is not None
+            cond, feasible_true, feasible_false = hint
+            assert feasible_true or feasible_false  # a live lane has a side
+        # Lanes at the same program point share the *interned* condition —
+        # the identity the engine's hint validation relies on.
+        assert first.vex_buffer[4][0] is second.vex_buffer[4][0]
+
+    def test_batching_off_buffers_without_hints(self):
+        _engine, first, second = self._branch_grouped_pair(branch_batching=False)
+        assert first.vex_buffer[4] is None and second.vex_buffer[4] is None
+
+    def test_identical_classes_query_exactly_once_per_group(self, monkeypatch):
+        from repro.symbex.incremental import CONTEXT_STATS, SolverContext
+
+        engine = _make_engine("nat-hash-table", "vector")
+        first, second = engine.make_initial_state(), engine.make_initial_state()
+        calls = []
+        original = SolverContext.feasible_with
+
+        def counting(self, extra):
+            calls.append((self._set_id, id(extra)))
+            return original(self, extra)
+
+        monkeypatch.setattr(SolverContext, "feasible_with", counting)
+        queries0 = CONTEXT_STATS.group_queries
+        hits0 = CONTEXT_STATS.group_dedup_hits
+        engine._vex.build_buffers([first, second])
+        # Both fresh lanes share the empty constraint-chain fingerprint and
+        # the interned condition: one representative query, one fanned-out
+        # verdict.
+        assert len(calls) == 1
+        assert CONTEXT_STATS.group_queries - queries0 == 1
+        assert CONTEXT_STATS.group_dedup_hits - hits0 == 1
+        assert first.vex_buffer[4] == second.vex_buffer[4]
+
+    def test_distinct_fingerprints_never_share_a_verdict(self, monkeypatch):
+        from repro.symbex.expr import Const, Sym, expr_ne
+        from repro.symbex.incremental import CONTEXT_STATS, SolverContext
+
+        engine = _make_engine("nat-hash-table", "vector")
+        first, second = engine.make_initial_state(), engine.make_initial_state()
+        # Diverge the second lane's constraint-chain fingerprint with a
+        # constraint that is true under the shadow defaults (so both lanes
+        # stay live and shadow-consistent).
+        second.solver_context.add(expr_ne(Sym("pkt0.protocol", 8), Const(200)))
+        assert first.solver_context._set_id != second.solver_context._set_id
+        calls = []
+        original = SolverContext.feasible_with
+
+        def counting(self, extra):
+            calls.append((self._set_id, id(extra)))
+            return original(self, extra)
+
+        monkeypatch.setattr(SolverContext, "feasible_with", counting)
+        queries0 = CONTEXT_STATS.group_queries
+        hits0 = CONTEXT_STATS.group_dedup_hits
+        engine._vex.build_buffers([first, second])
+        # Same interned condition, different fingerprints: two classes, two
+        # representative queries, no cross-class fan-out.
+        assert len(calls) == 2
+        assert calls[0][0] != calls[1][0]
+        assert CONTEXT_STATS.group_queries - queries0 == 2
+        assert CONTEXT_STATS.group_dedup_hits - hits0 == 0
+
+    def test_apply_hands_hint_to_engine(self):
+        engine, first, _second = self._branch_grouped_pair()
+        hint = first.vex_buffer[4]
+        engine._vex.apply(engine, first, max_instructions=10**9)
+        state, cond, verdicts = engine._branch_hints
+        assert state is first
+        assert cond is hint[0]
+        assert verdicts == (hint[1], hint[2])
+
+    def test_stats_thread_group_counters(self):
+        on = _make_engine("nat-hash-table", "vector")
+        stats_on = _run_stats(on)
+        assert stats_on.group_queries > 0
+        off = _make_engine("nat-hash-table", "vector", branch_batching=False)
+        stats_off = _run_stats(off)
+        assert stats_off.group_queries == 0
+        assert stats_off.group_dedup_hits == 0
+        assert stats_off.column_branch_resolutions == 0
+        # The run itself is identical either way.
+        assert stats_on.states_explored == stats_off.states_explored
+        assert stats_on.instructions_executed == stats_off.instructions_executed
+        assert stats_on.forks == stats_off.forks
+        assert [s.sid for s in stats_on.completed_states] == [
+            s.sid for s in stats_off.completed_states
+        ]

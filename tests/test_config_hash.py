@@ -22,7 +22,7 @@ from repro.core.config import CONFIG_HASH_VERSION, CastanConfig
 #: fails after an intentional change to CastanConfig (new field, changed
 #: default, different canonical form), bump CONFIG_HASH_VERSION and repin —
 #: old stored service results must not be addressable by the new form.
-GOLDEN_DEFAULT_HASH = "ca609a19b66018492a58a4b52834a8809899e923eb7534579203d1e81026babf"
+GOLDEN_DEFAULT_HASH = "cf55986c9c6dd6ddd41381ee1008ee99e37cbd3941b265589075f90e46477c93"
 
 
 def _mutated(value):
@@ -133,4 +133,4 @@ def test_partial_from_dict_overrides_on_defaults():
 
 def test_version_tag_is_part_of_the_hash():
     """The golden hash covers the version tag (bumping it must repoint keys)."""
-    assert CONFIG_HASH_VERSION == "castan-config-v1"
+    assert CONFIG_HASH_VERSION == "castan-config-v2"

@@ -2,8 +2,10 @@
 
 Times one full ``Castan`` analysis and attributes wall time to the phases a
 perf PR actually argues about — block compilation, engine stepping, solver
-queries, cache-model decisions and (in vector mode) frontier grouping —
-instead of dumping a raw function table::
+work (split into ``solver:query`` feasibility/model time,
+``solver:propagate`` constraint commitment and ``solver:group-dedup``
+cross-lane branch batching), cache-model decisions and (in vector mode)
+frontier grouping — instead of dumping a raw function table::
 
     PYTHONPATH=src python tools/profile_symbex.py --nf nat-hash-table
     PYTHONPATH=src python tools/profile_symbex.py --nf nat-hash-ring \
@@ -92,11 +94,21 @@ def _install_phase_probes(clock: PhaseClock) -> list:
     undo = []
     undo.append(clock.wrap(blockc, "_compile_block", "block compile"))
     undo.extend(_install_stage_probes(clock))
-    undo.append(clock.wrap(Solver, "check", "solver"))
-    undo.append(clock.wrap(Solver, "quick_feasible", "solver"))
-    undo.append(clock.wrap(SolverContext, "feasible_with", "solver"))
-    undo.append(clock.wrap(SolverContext, "solve_value", "solver"))
-    undo.append(clock.wrap(SolverContext, "add", "solver"))
+    # The solver phase is split three ways: "solver:query" is feasibility /
+    # model time (slow-path checks and incremental-context queries),
+    # "solver:propagate" is constraint commitment (SolverContext.add wave
+    # propagation), "solver:group-dedup" is the vector tier's cross-lane
+    # branch batching — exclusive attribution means it shows only the
+    # dedup-class bookkeeping, while representative queries made from inside
+    # it still count as solver:query.
+    undo.append(clock.wrap(Solver, "check", "solver:query"))
+    undo.append(clock.wrap(Solver, "quick_feasible", "solver:query"))
+    undo.append(clock.wrap(SolverContext, "feasible_with", "solver:query"))
+    undo.append(clock.wrap(SolverContext, "solve_value", "solver:query"))
+    undo.append(clock.wrap(SolverContext, "add", "solver:propagate"))
+    undo.append(
+        clock.wrap(vexec.VectorExecutor, "_resolve_branches", "solver:group-dedup")
+    )
     for model_cls in (NoCacheModel, ContentionSetCacheModel):
         undo.append(clock.wrap(model_cls, "on_access", "cache"))
     undo.append(clock.wrap(vexec.VectorExecutor, "build_buffers", "vector group"))
@@ -189,14 +201,14 @@ def profile_phases(
 
     print(result.summary(), file=sys.stderr)
     print(f"\n{nf_name} [{exec_mode}] max_states={max_states}: {wall:.3f}s wall")
-    print(f"{'phase':>14}  {'seconds':>8}  {'share':>6}  {'calls':>8}")
+    print(f"{'phase':>18}  {'seconds':>8}  {'share':>6}  {'calls':>8}")
     ordered = sorted(clock.totals.items(), key=lambda kv: -kv[1])
     for phase, seconds in ordered:
         calls = clock.calls[phase] if phase != "other" else 1
         share = seconds / wall if wall else 0.0
-        print(f"{phase:>14}  {seconds:8.3f}  {share:5.1%}  {calls:8d}")
+        print(f"{phase:>18}  {seconds:8.3f}  {share:5.1%}  {calls:8d}")
     accounted = sum(clock.totals.values())
-    print(f"{'(accounted)':>14}  {accounted:8.3f}  {accounted / wall if wall else 0.0:5.1%}")
+    print(f"{'(accounted)':>18}  {accounted:8.3f}  {accounted / wall if wall else 0.0:5.1%}")
     return 0
 
 
